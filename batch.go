@@ -1,0 +1,100 @@
+package ams
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"ams/internal/core"
+	"ams/internal/sched"
+	"ams/internal/sim"
+)
+
+// BatchStats aggregates a LabelBatch run.
+type BatchStats struct {
+	Processed  int
+	AvgRecall  float64
+	AvgTimeSec float64 // simulated per-image schedule time
+}
+
+// LabelBatch labels many held-out images concurrently with worker
+// goroutines. The agent's network is cloned per worker (a forward pass
+// caches activations, so a single network must not be shared), while the
+// precomputed ground truth is shared read-only. Results are returned in
+// the order of the images slice.
+func (s *System) LabelBatch(agent *Agent, images []int, b Budget, workers int) ([]*Result, BatchStats, error) {
+	if agent == nil {
+		return nil, BatchStats{}, fmt.Errorf("ams: nil agent")
+	}
+	for _, img := range images {
+		if img < 0 || img >= s.testStore.NumScenes() {
+			return nil, BatchStats{}, fmt.Errorf("ams: image %d out of range [0,%d)",
+				img, s.testStore.NumScenes())
+		}
+	}
+	if b.MemoryGB > 0 && b.DeadlineSec <= 0 {
+		return nil, BatchStats{}, fmt.Errorf("ams: a memory budget requires a deadline")
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(images) {
+		workers = len(images)
+	}
+	if workers == 0 {
+		return nil, BatchStats{}, nil
+	}
+
+	results := make([]*Result, len(images))
+	jobs := make(chan int) // index into images
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Per-worker private network clone.
+			private := &core.Agent{
+				Net:       agent.inner.Net.Clone(),
+				NumModels: agent.inner.NumModels,
+				Algo:      agent.inner.Algo,
+				Dataset:   agent.inner.Dataset,
+			}
+			for idx := range jobs {
+				img := images[idx]
+				var res sim.SerialResult
+				switch {
+				case b.MemoryGB > 0:
+					pr := sim.RunParallel(s.testStore, img,
+						sched.NewMemoryPacker(private, s.Zoo),
+						b.DeadlineSec*1000, b.MemoryGB*1024)
+					res = sim.SerialResult{Executed: pr.Executed,
+						TimeMS: pr.MakespanMS, Recall: pr.Recall}
+				case b.DeadlineSec > 0:
+					res = sim.RunDeadline(s.testStore, img,
+						sched.NewCostQGreedy(private, s.Zoo), b.DeadlineSec*1000)
+				default:
+					res = sim.RunToRecall(s.testStore, img,
+						sched.NewQGreedyOrder(private, private.NumModels), 1.0)
+				}
+				results[idx] = s.buildResult(img, res)
+			}
+		}()
+	}
+	for idx := range images {
+		jobs <- idx
+	}
+	close(jobs)
+	wg.Wait()
+
+	var stats BatchStats
+	stats.Processed = len(results)
+	for _, r := range results {
+		stats.AvgRecall += r.Recall
+		stats.AvgTimeSec += r.TimeSec
+	}
+	if stats.Processed > 0 {
+		stats.AvgRecall /= float64(stats.Processed)
+		stats.AvgTimeSec /= float64(stats.Processed)
+	}
+	return results, stats, nil
+}

@@ -1,0 +1,79 @@
+package ams
+
+import "testing"
+
+func TestLabelBatchMatchesSequential(t *testing.T) {
+	images := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	batch, stats, err := testSys.LabelBatch(testAgent, images, Budget{DeadlineSec: 1}, 4)
+	if err != nil {
+		t.Fatalf("LabelBatch: %v", err)
+	}
+	if stats.Processed != len(images) {
+		t.Fatalf("processed %d", stats.Processed)
+	}
+	for i, img := range images {
+		seq, err := testSys.Label(testAgent, img, Budget{DeadlineSec: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := batch[i]
+		if got.Image != img {
+			t.Fatalf("result %d has image %d", i, got.Image)
+		}
+		if got.Recall != seq.Recall || got.TimeSec != seq.TimeSec ||
+			len(got.ModelsRun) != len(seq.ModelsRun) {
+			t.Fatalf("batch result for image %d diverges from sequential: %+v vs %+v",
+				img, got, seq)
+		}
+		for j := range got.ModelsRun {
+			if got.ModelsRun[j] != seq.ModelsRun[j] {
+				t.Fatalf("image %d schedule diverges at %d", img, j)
+			}
+		}
+	}
+}
+
+func TestLabelBatchUnconstrainedAndMemory(t *testing.T) {
+	images := []int{0, 1, 2, 3}
+	_, stats, err := testSys.LabelBatch(testAgent, images, Budget{}, 2)
+	if err != nil {
+		t.Fatalf("unconstrained batch: %v", err)
+	}
+	if stats.AvgRecall < 1-1e-9 {
+		t.Fatalf("unconstrained batch recall %v", stats.AvgRecall)
+	}
+	res, _, err := testSys.LabelBatch(testAgent, images, Budget{DeadlineSec: 0.8, MemoryGB: 8}, 2)
+	if err != nil {
+		t.Fatalf("memory batch: %v", err)
+	}
+	for _, r := range res {
+		if r.TimeSec > 0.8+1e-9 {
+			t.Fatalf("batch makespan %v over deadline", r.TimeSec)
+		}
+	}
+}
+
+func TestLabelBatchValidation(t *testing.T) {
+	if _, _, err := testSys.LabelBatch(nil, []int{0}, Budget{}, 1); err == nil {
+		t.Fatal("nil agent accepted")
+	}
+	if _, _, err := testSys.LabelBatch(testAgent, []int{-1}, Budget{}, 1); err == nil {
+		t.Fatal("bad image accepted")
+	}
+	if _, _, err := testSys.LabelBatch(testAgent, []int{0}, Budget{MemoryGB: 4}, 1); err == nil {
+		t.Fatal("memory-without-deadline accepted")
+	}
+	// Empty batch is fine.
+	res, stats, err := testSys.LabelBatch(testAgent, nil, Budget{}, 3)
+	if err != nil || len(res) != 0 || stats.Processed != 0 {
+		t.Fatalf("empty batch: %v %v %v", res, stats, err)
+	}
+}
+
+func TestLabelBatchDefaultWorkers(t *testing.T) {
+	images := []int{0, 1, 2}
+	res, _, err := testSys.LabelBatch(testAgent, images, Budget{DeadlineSec: 0.5}, 0)
+	if err != nil || len(res) != 3 {
+		t.Fatalf("default workers run failed: %v", err)
+	}
+}

@@ -1,0 +1,81 @@
+// Surveillance: a monitoring pipeline where face detection must be
+// prioritized (the paper's §VI-E scenario) and models share a bounded
+// GPU, exercising the theta priority parameter and Algorithm 2's
+// deadline+memory packing.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ams"
+)
+
+const faceModel = "facedet-mtcnn"
+
+func main() {
+	sys, err := ams.New(ams.Config{Dataset: ams.DatasetMSCOCO, NumImages: 400, Seed: 33})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Train two agents: one neutral, one with the face detector's reward
+	// priority boosted 10x so faces surface with minimal delay.
+	neutral, err := sys.TrainAgent(ams.TrainOptions{
+		Algorithm: ams.DuelingDQN, Epochs: 8, Hidden: []int{96}, Seed: 33,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	prioritized, err := sys.TrainAgent(ams.TrainOptions{
+		Algorithm: ams.DuelingDQN, Epochs: 8, Hidden: []int{96}, Seed: 33,
+		Priorities: map[string]float64{faceModel: 10},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Measure how early the face detector runs under each agent.
+	n := sys.NumTestImages()
+	avgPos := func(a *ams.Agent) float64 {
+		var sum float64
+		for i := 0; i < n; i++ {
+			res, err := sys.Label(a, i, ams.Budget{})
+			if err != nil {
+				log.Fatal(err)
+			}
+			pos := len(res.ModelsRun) + 1
+			for j, name := range res.ModelsRun {
+				if name == faceModel {
+					pos = j + 1
+					break
+				}
+			}
+			sum += float64(pos)
+		}
+		return sum / float64(n)
+	}
+	fmt.Printf("avg position of %s in the schedule:\n", faceModel)
+	fmt.Printf("  neutral agent (theta=1):      %.1f\n", avgPos(neutral))
+	fmt.Printf("  prioritized agent (theta=10): %.1f\n", avgPos(prioritized))
+
+	// Frame processing under a wall-clock deadline with a shared 8 GB
+	// GPU: Algorithm 2 packs models in parallel and releases memory as
+	// executions finish.
+	fmt.Println("\nper-frame labeling, 0.8s deadline, 8GB GPU (Algorithm 2):")
+	var recall, makespan float64
+	frames := 20
+	if frames > n {
+		frames = n
+	}
+	for i := 0; i < frames; i++ {
+		res, err := sys.Label(prioritized, i, ams.Budget{DeadlineSec: 0.8, MemoryGB: 8})
+		if err != nil {
+			log.Fatal(err)
+		}
+		recall += res.Recall
+		makespan += res.TimeSec
+	}
+	fmt.Printf("  %d frames: avg recall %.3f, avg makespan %.2fs (serial no-policy: %.2fs)\n",
+		frames, recall/float64(frames), makespan/float64(frames), sys.NoPolicyTimeSec())
+}

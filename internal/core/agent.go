@@ -1,0 +1,108 @@
+// Package core implements the paper's primary contribution: the adaptive
+// model scheduling framework. It wires the labeling environment (oracle
+// ground truth) to the DRL machinery (internal/rl), trains model-value
+// prediction agents with the paper's reward function (Eq. 3) and END
+// action, and exposes the trained agent as a predictor the scheduling
+// algorithms consume.
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+
+	"ams/internal/nn"
+	"ams/internal/rl"
+)
+
+// Agent is a trained model-value predictor: a Q network over the labeling
+// state whose first NumModels outputs are per-model values and whose last
+// output is the END action used during training.
+type Agent struct {
+	Net       *nn.Net
+	NumModels int
+	Algo      rl.Algorithm
+	Dataset   string // profile name the agent was trained on
+}
+
+// EndIndex returns the action index of the END action.
+func (a *Agent) EndIndex() int { return a.NumModels }
+
+// Predict implements sched.Predictor: it returns the Q values of every
+// action (models first, END last) for the sparse labeling state. The
+// slice aliases network storage and is invalidated by the next call.
+func (a *Agent) Predict(state []int) []float64 { return a.Net.Forward(state) }
+
+// agentBlob is the gob wire format of an Agent. The network is embedded
+// as opaque bytes so the whole agent travels in a single gob message
+// (a trailing second stream would trip over the decoder's read-ahead).
+type agentBlob struct {
+	NumModels int
+	Algo      string
+	Dataset   string
+	Net       []byte
+}
+
+// Save writes the agent (metadata + network weights) to w.
+func (a *Agent) Save(w io.Writer) error {
+	var netBuf bytes.Buffer
+	if err := a.Net.Save(&netBuf); err != nil {
+		return err
+	}
+	blob := agentBlob{
+		NumModels: a.NumModels,
+		Algo:      a.Algo.String(),
+		Dataset:   a.Dataset,
+		Net:       netBuf.Bytes(),
+	}
+	if err := gob.NewEncoder(w).Encode(blob); err != nil {
+		return fmt.Errorf("core: save agent: %w", err)
+	}
+	return nil
+}
+
+// LoadAgent reads an agent previously written with Save.
+func LoadAgent(r io.Reader) (*Agent, error) {
+	var blob agentBlob
+	if err := gob.NewDecoder(r).Decode(&blob); err != nil {
+		return nil, fmt.Errorf("core: load agent: %w", err)
+	}
+	algo, err := rl.ParseAlgorithm(blob.Algo)
+	if err != nil {
+		return nil, fmt.Errorf("core: load agent: %w", err)
+	}
+	net, err := nn.Load(bytes.NewReader(blob.Net))
+	if err != nil {
+		return nil, err
+	}
+	if net.Out() != blob.NumModels+1 {
+		return nil, fmt.Errorf("core: load agent: network has %d outputs, want %d",
+			net.Out(), blob.NumModels+1)
+	}
+	return &Agent{Net: net, NumModels: blob.NumModels, Algo: algo, Dataset: blob.Dataset}, nil
+}
+
+// SaveFile writes the agent to the named file.
+func (a *Agent) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("core: save agent: %w", err)
+	}
+	defer f.Close()
+	if err := a.Save(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadAgentFile reads an agent from the named file.
+func LoadAgentFile(path string) (*Agent, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("core: load agent: %w", err)
+	}
+	defer f.Close()
+	return LoadAgent(f)
+}

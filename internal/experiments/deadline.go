@@ -1,0 +1,167 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"ams/internal/metrics"
+	"ams/internal/rl"
+	"ams/internal/sched"
+	"ams/internal/sim"
+	"ams/internal/tensor"
+)
+
+// --- Fig. 10: scheduling under deadline constraint ------------------------
+
+// DeadlineResult holds recall-vs-deadline curves on one dataset plus the
+// performance ratio of Algorithm 1 to the optimal* reference.
+type DeadlineResult struct {
+	Dataset      string
+	DeadlinesSec []float64
+	Policies     []string    // Q-Greedy, Cost-Q Greedy, Random, Optimal*
+	Recall       [][]float64 // [policy][deadline]
+	PerfRatio    []float64   // Cost-Q / Optimal* per deadline
+}
+
+// deadlineEval evaluates the three feasible policies plus the optimal*
+// reference on one dataset's test split, using the given agent.
+func (l *Lab) deadlineEval(dataset string, agent sched.Predictor, seedTag string) DeadlineResult {
+	st := l.TestStore(dataset)
+	rng := tensor.NewRNG(l.seedFor("deadline/" + dataset + "/" + seedTag))
+	policies := []struct {
+		name string
+		p    sim.DeadlinePolicy
+	}{
+		{"Q-Greedy", sched.NewQGreedyDeadline(agent, l.Zoo)},
+		{"Cost-Q Greedy", sched.NewCostQGreedy(agent, l.Zoo)},
+		{"Random", sched.NewRandomDeadline(l.Zoo, rng)},
+	}
+	res := DeadlineResult{
+		Dataset:      dataset,
+		DeadlinesSec: l.Cfg.DeadlinesSec,
+		Policies:     []string{"Q-Greedy", "Cost-Q Greedy", "Random", "Optimal*"},
+		Recall:       make([][]float64, 4),
+	}
+	for i := range res.Recall {
+		res.Recall[i] = make([]float64, len(res.DeadlinesSec))
+	}
+	res.PerfRatio = make([]float64, len(res.DeadlinesSec))
+	n := float64(st.NumScenes())
+	for di, dSec := range res.DeadlinesSec {
+		dMS := dSec * 1000
+		for pi, np := range policies {
+			var sum float64
+			for i := 0; i < st.NumScenes(); i++ {
+				sum += sim.RunDeadline(st, i, np.p, dMS).Recall
+			}
+			res.Recall[pi][di] = sum / n
+		}
+		var optSum float64
+		for i := 0; i < st.NumScenes(); i++ {
+			optSum += sched.OptimalStarDeadline(st, i, dMS)
+		}
+		res.Recall[3][di] = optSum / n
+		if res.Recall[3][di] > 0 {
+			res.PerfRatio[di] = res.Recall[1][di] / res.Recall[3][di]
+		} else {
+			res.PerfRatio[di] = 1
+		}
+	}
+	return res
+}
+
+// Fig10 evaluates deadline scheduling with the DuelingDQN agent on the
+// three sweep datasets (§VI-F).
+func (l *Lab) Fig10() []DeadlineResult {
+	var rs []DeadlineResult
+	for _, name := range SweepDatasets() {
+		agent := l.Agent(rl.DuelingDQN, name)
+		l.logf("fig10: deadline scheduling on %s", name)
+		rs = append(rs, l.deadlineEval(name, agent, "fig10"))
+	}
+	return rs
+}
+
+// Format renders one dataset's panel of Fig. 10.
+func (r DeadlineResult) Format() string {
+	series := make([]metrics.Series, len(r.Policies))
+	for i, p := range r.Policies {
+		series[i] = metrics.Series{Name: p, Y: r.Recall[i]}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig. 10 (%s) — value recall rate under deadline constraints\n", r.Dataset)
+	b.WriteString(metrics.SeriesTable("deadline(s)", r.DeadlinesSec, series, 2))
+	b.WriteString("performance ratio (Cost-Q / Optimal*, reference 1-1/e = 0.632):\n")
+	b.WriteString(metrics.SeriesTable("deadline(s)", r.DeadlinesSec,
+		[]metrics.Series{{Name: "ratio", Y: r.PerfRatio}}, 2))
+	return b.String()
+}
+
+// --- Fig. 12: transfer under deadline constraint ---------------------------
+
+// Fig12Result holds recall-vs-deadline for Agent1/Agent2 on the two
+// transfer datasets using Algorithm 1.
+type Fig12Result struct {
+	Datasets     []string // Dataset1, Dataset2
+	DeadlinesSec []float64
+	Policies     []string      // Agent1, Agent2, Random, Optimal*
+	Recall       [][][]float64 // [dataset][policy][deadline]
+}
+
+// Fig12 mirrors §VI-F's transfer experiment: Agent1 (Stanford40-trained)
+// and Agent2 (VOC-trained) scheduled by Algorithm 1 on both test sets.
+func (l *Lab) Fig12() Fig12Result {
+	agent1 := l.Agent(rl.DuelingDQN, DSStanford)
+	agent2 := l.Agent(rl.DuelingDQN, DSVOC)
+	res := Fig12Result{
+		Datasets:     []string{DSStanford, DSVOC},
+		DeadlinesSec: l.Cfg.DeadlinesSec,
+		Policies:     []string{"Agent1", "Agent2", "Random", "Optimal*"},
+	}
+	for _, ds := range res.Datasets {
+		st := l.TestStore(ds)
+		rng := tensor.NewRNG(l.seedFor("fig12/" + ds))
+		policies := []sim.DeadlinePolicy{
+			sched.NewCostQGreedy(agent1, l.Zoo),
+			sched.NewCostQGreedy(agent2, l.Zoo),
+			sched.NewRandomDeadline(l.Zoo, rng),
+		}
+		recall := make([][]float64, 4)
+		for i := range recall {
+			recall[i] = make([]float64, len(res.DeadlinesSec))
+		}
+		n := float64(st.NumScenes())
+		for di, dSec := range res.DeadlinesSec {
+			dMS := dSec * 1000
+			for pi, p := range policies {
+				var sum float64
+				for i := 0; i < st.NumScenes(); i++ {
+					sum += sim.RunDeadline(st, i, p, dMS).Recall
+				}
+				recall[pi][di] = sum / n
+			}
+			var optSum float64
+			for i := 0; i < st.NumScenes(); i++ {
+				optSum += sched.OptimalStarDeadline(st, i, dMS)
+			}
+			recall[3][di] = optSum / n
+		}
+		res.Recall = append(res.Recall, recall)
+	}
+	return res
+}
+
+// Format renders both panels of Fig. 12.
+func (r Fig12Result) Format() string {
+	var b strings.Builder
+	for di, ds := range r.Datasets {
+		series := make([]metrics.Series, len(r.Policies))
+		for i, p := range r.Policies {
+			series[i] = metrics.Series{Name: p, Y: r.Recall[di][i]}
+		}
+		fmt.Fprintf(&b, "Fig. 12 (Dataset%d = %s) — recall under deadline, Algorithm 1\n",
+			di+1, ds)
+		b.WriteString(metrics.SeriesTable("deadline(s)", r.DeadlinesSec, series, 2))
+	}
+	return b.String()
+}

@@ -1,0 +1,362 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"ams/internal/rl"
+)
+
+// microConfig keeps the whole suite testable in seconds.
+func microConfig() Config {
+	c := Quick()
+	c.DatasetSize = 150
+	c.Epochs = 6
+	c.Hidden = []int{32}
+	c.RecallGrid = []float64{0.2, 0.5, 0.8, 1.0}
+	c.DeadlinesSec = []float64{0.5, 1, 2}
+	c.MemDeadlines = []float64{0.4, 0.8}
+	c.MemBudgetsGB = []float64{8, 16}
+	c.Thetas = []float64{1, 10}
+	return c
+}
+
+// sharedLab caches trained agents and stores across the test functions;
+// the Lab is single-threaded and so are Go tests unless marked parallel.
+var sharedLab = NewLab(microConfig())
+
+func newMicroLab(t *testing.T) *Lab {
+	t.Helper()
+	return sharedLab
+}
+
+func TestLabCaching(t *testing.T) {
+	l := newMicroLab(t)
+	a := l.Agent(rl.DQN, DSMSCOCO)
+	b := l.Agent(rl.DQN, DSMSCOCO)
+	if a != b {
+		t.Fatal("agent not cached")
+	}
+	if l.TestStore(DSMSCOCO) != l.TestStore(DSMSCOCO) {
+		t.Fatal("store not cached")
+	}
+	if l.Dataset(DSMSCOCO) != l.Dataset(DSMSCOCO) {
+		t.Fatal("dataset not cached")
+	}
+}
+
+func TestLabSplitSizes(t *testing.T) {
+	l := newMicroLab(t)
+	train := l.TrainStore(DSPlaces)
+	test := l.TestStore(DSPlaces)
+	if train.NumScenes()+test.NumScenes() != l.Cfg.DatasetSize {
+		t.Fatalf("splits sum to %d", train.NumScenes()+test.NumScenes())
+	}
+	frac := float64(train.NumScenes()) / float64(l.Cfg.DatasetSize)
+	if frac < 0.15 || frac > 0.25 {
+		t.Fatalf("train fraction %v", frac)
+	}
+}
+
+func TestFig1Motivation(t *testing.T) {
+	l := newMicroLab(t)
+	r := l.Fig1()
+	if len(r.Models) != 6 || len(r.Images) == 0 {
+		t.Fatalf("fig1 shape: %d models %d images", len(r.Models), len(r.Images))
+	}
+	for _, row := range r.Cells {
+		if len(row) != len(r.Images) {
+			t.Fatal("ragged cell matrix")
+		}
+	}
+	// The motivation claim: a large share of all-model compute is waste.
+	if r.WastedFraction < 0.2 || r.WastedFraction > 0.9 {
+		t.Fatalf("wasted fraction %v implausible", r.WastedFraction)
+	}
+	if r.UsefulExecutions+0 > r.TotalExecutions {
+		t.Fatal("accounting broken")
+	}
+	out := r.Format()
+	if !strings.Contains(out, "Fig. 1") || !strings.Contains(out, "useful") {
+		t.Fatalf("format wrong:\n%s", out)
+	}
+}
+
+func TestFig2Shape(t *testing.T) {
+	l := newMicroLab(t)
+	r := l.Fig2()
+	if !(r.AvgOptimalSec < r.AvgRandomSec && r.AvgRandomSec <= r.AvgNoPolicySec) {
+		t.Fatalf("Fig2 ordering violated: optimal=%v random=%v nopolicy=%v",
+			r.AvgOptimalSec, r.AvgRandomSec, r.AvgNoPolicySec)
+	}
+	// No-policy time is the calibrated ~5.16 s.
+	if r.AvgNoPolicySec < 4.8 || r.AvgNoPolicySec > 5.5 {
+		t.Fatalf("no-policy avg %v", r.AvgNoPolicySec)
+	}
+	// Optimal saves most of the time (paper: 22% of no-policy).
+	if r.AvgOptimalSec > 0.6*r.AvgNoPolicySec {
+		t.Fatalf("optimal time %v too close to no-policy %v", r.AvgOptimalSec, r.AvgNoPolicySec)
+	}
+	if !strings.Contains(r.Format(), "Fig. 2") {
+		t.Fatal("Format missing header")
+	}
+}
+
+func TestRecallSweepOrderings(t *testing.T) {
+	l := newMicroLab(t)
+	sw := l.RecallSweep(DSMSCOCO)
+	if len(sw.Policies) != 6 {
+		t.Fatalf("sweep has %d policies", len(sw.Policies))
+	}
+	last := len(sw.Thresholds) - 1
+	opt, _ := sw.PolicyRow("Optimal", false)
+	rnd, _ := sw.PolicyRow("Random", false)
+	duel, _ := sw.PolicyRow("DuelingDQN", false)
+	if !(opt[last] < duel[last] && duel[last] < rnd[last]) {
+		t.Fatalf("count ordering at full recall: opt=%v duel=%v rand=%v",
+			opt[last], rnd[last], duel[last])
+	}
+	// Counts are non-decreasing in the threshold for every policy.
+	for pi, name := range sw.Policies {
+		for ti := 1; ti < len(sw.Thresholds); ti++ {
+			if sw.Counts[pi][ti] < sw.Counts[pi][ti-1]-1e-9 {
+				t.Fatalf("%s counts not monotone", name)
+			}
+			if sw.Times[pi][ti] < sw.Times[pi][ti-1]-1e-9 {
+				t.Fatalf("%s times not monotone", name)
+			}
+		}
+	}
+	// Sweep is cached.
+	if l.RecallSweep(DSMSCOCO) != sw {
+		t.Fatal("sweep not cached")
+	}
+	if !strings.Contains(sw.FormatCounts(), "Fig. 4") ||
+		!strings.Contains(sw.FormatTimes(), "Fig. 5") {
+		t.Fatal("sweep format headers wrong")
+	}
+}
+
+func TestFig6RuleBetween(t *testing.T) {
+	l := newMicroLab(t)
+	r := l.Fig6()
+	last := len(r.Thresholds) - 1
+	rule, ok := r.PolicyRow("Rule", true)
+	if !ok {
+		t.Fatal("rule policy missing")
+	}
+	rnd, _ := r.PolicyRow("Random", true)
+	opt, _ := r.PolicyRow("Optimal", true)
+	// Rules help a bit: between optimal and random at full recall
+	// (allowing sampling slack against random).
+	if rule[last] < opt[last]-1e-9 {
+		t.Fatalf("rule (%v) beats optimal (%v)?", rule[last], opt[last])
+	}
+	if rule[last] > rnd[last]*1.05 {
+		t.Fatalf("rule (%v) clearly worse than random (%v)", rule[last], rnd[last])
+	}
+}
+
+func TestFig7Sequence(t *testing.T) {
+	l := newMicroLab(t)
+	r := l.Fig7()
+	if len(r.Steps) == 0 {
+		t.Fatal("empty execution sequence")
+	}
+	seen := map[string]bool{}
+	for _, s := range r.Steps {
+		if seen[s.Model] {
+			t.Fatalf("model %s executed twice", s.Model)
+		}
+		seen[s.Model] = true
+	}
+	out := r.Format()
+	if !strings.Contains(out, "Fig. 7") || !strings.Contains(out, r.Steps[0].Model) {
+		t.Fatalf("format wrong:\n%s", out)
+	}
+}
+
+func TestFig8Transfer(t *testing.T) {
+	l := newMicroLab(t)
+	r := l.Fig8()
+	if len(r.Names) != 4 || len(r.AvgSec) != 4 {
+		t.Fatalf("Fig8 shape wrong")
+	}
+	for di := 0; di < 2; di++ {
+		optimal := r.AvgSec[3][di]
+		random := r.AvgSec[2][di]
+		a1, a2 := r.AvgSec[0][di], r.AvgSec[1][di]
+		if !(optimal < random) {
+			t.Fatalf("dataset %d: optimal %v !< random %v", di, optimal, random)
+		}
+		// Both agents (native and transferred) beat random.
+		if a1 >= random || a2 >= random {
+			t.Fatalf("dataset %d: agents (%v,%v) not better than random %v",
+				di, a1, a2, random)
+		}
+	}
+	if !strings.Contains(r.Format(), "Fig. 8") {
+		t.Fatal("format header wrong")
+	}
+}
+
+func TestFig9ThetaPullsForward(t *testing.T) {
+	l := newMicroLab(t)
+	r := l.Fig9()
+	if len(r.Thetas) != 2 || len(r.Algos) != 4 {
+		t.Fatalf("Fig9 shape: %d thetas %d algos", len(r.Thetas), len(r.Algos))
+	}
+	// Averaged over algorithms, theta=10 schedules the face detector
+	// earlier than theta=1.
+	var at1, at10 float64
+	for i := range r.Algos {
+		at1 += r.AvgOrder[i][0]
+		at10 += r.AvgOrder[i][1]
+	}
+	if at10 >= at1 {
+		t.Fatalf("theta=10 order (%v) not earlier than theta=1 (%v)", at10/4, at1/4)
+	}
+	if !strings.Contains(r.Format(), "Fig. 9") {
+		t.Fatal("format header wrong")
+	}
+}
+
+func TestFig10DeadlineCurves(t *testing.T) {
+	l := newMicroLab(t)
+	rs := l.Fig10()
+	if len(rs) != 3 {
+		t.Fatalf("Fig10 returned %d datasets", len(rs))
+	}
+	for _, r := range rs {
+		for pi, name := range r.Policies {
+			for di := 1; di < len(r.DeadlinesSec); di++ {
+				if r.Recall[pi][di] < r.Recall[pi][di-1]-0.05 {
+					t.Fatalf("%s/%s recall sharply decreasing in deadline", r.Dataset, name)
+				}
+			}
+		}
+		// Cost-Q beats random at the tightest deadline.
+		if r.Recall[1][0] <= r.Recall[2][0] {
+			t.Fatalf("%s: cost-Q (%v) not above random (%v) at tight deadline",
+				r.Dataset, r.Recall[1][0], r.Recall[2][0])
+		}
+		// Optimal* dominates the feasible policies (within relaxation slack).
+		for di := range r.DeadlinesSec {
+			for pi := 0; pi < 3; pi++ {
+				if r.Recall[pi][di] > r.Recall[3][di]+0.03 {
+					t.Fatalf("%s: policy %s beats optimal*", r.Dataset, r.Policies[pi])
+				}
+			}
+		}
+		if !strings.Contains(r.Format(), "Fig. 10") {
+			t.Fatal("format header wrong")
+		}
+	}
+}
+
+func TestFig11MemoryCurves(t *testing.T) {
+	l := newMicroLab(t)
+	rs := l.Fig11()
+	if len(rs) != 2 {
+		t.Fatalf("Fig11 returned %d budgets", len(rs))
+	}
+	for _, r := range rs {
+		for di := range r.DeadlinesSec {
+			if r.Recall[0][di] > r.Recall[2][di]+0.03 {
+				t.Fatalf("agent beats optimal* at %vGB", r.MemGB)
+			}
+		}
+		if !strings.Contains(r.Format(), "Fig. 11") {
+			t.Fatal("format header wrong")
+		}
+	}
+	// More memory helps the random baseline at a fixed tight deadline.
+	if rs[1].Recall[1][0] < rs[0].Recall[1][0]-0.05 {
+		t.Fatalf("16GB random (%v) worse than 8GB (%v)",
+			rs[1].Recall[1][0], rs[0].Recall[1][0])
+	}
+}
+
+func TestFig12Transfer(t *testing.T) {
+	l := newMicroLab(t)
+	r := l.Fig12()
+	if len(r.Recall) != 2 {
+		t.Fatalf("Fig12 datasets = %d", len(r.Recall))
+	}
+	// Averaged over the deadline grid: the natively trained agent beats
+	// random, and the transferred agent is at least competitive with it
+	// (micro-trained transfer can land at parity).
+	for di := range r.Datasets {
+		avg := func(pi int) float64 {
+			var s float64
+			for _, v := range r.Recall[di][pi] {
+				s += v
+			}
+			return s / float64(len(r.Recall[di][pi]))
+		}
+		random := avg(2)
+		native, transferred := avg(0), avg(1)
+		if di == 1 {
+			native, transferred = transferred, native
+		}
+		if native <= random {
+			t.Fatalf("dataset %d: native agent (%v) not above random (%v)", di, native, random)
+		}
+		if transferred < 0.9*random {
+			t.Fatalf("dataset %d: transferred agent (%v) far below random (%v)",
+				di, transferred, random)
+		}
+	}
+	if !strings.Contains(r.Format(), "Fig. 12") {
+		t.Fatal("format header wrong")
+	}
+}
+
+func TestTables(t *testing.T) {
+	l := newMicroLab(t)
+	t1 := l.TableI()
+	if !strings.Contains(t1, "1104 Labels") || !strings.Contains(t1, "30 Models") {
+		t.Fatalf("Table I totals missing:\n%s", t1)
+	}
+	t2 := l.TableII()
+	if !strings.Contains(t2, "pose estimation") || !strings.Contains(t2, "0.5x") {
+		t.Fatalf("Table II content missing:\n%s", t2)
+	}
+	t3 := l.TableIII()
+	if t3.SelectionMS <= 0 || t3.SelectionMS > 50 {
+		t.Fatalf("selection overhead %v ms implausible", t3.SelectionMS)
+	}
+	if t3.AgentMemoryMB <= 0 || t3.AgentMemoryMB > 200 {
+		t.Fatalf("agent memory %v MB implausible", t3.AgentMemoryMB)
+	}
+	if t3.ModelTimeMinMS != 50 || t3.ModelTimeMaxMS != 400 {
+		t.Fatalf("model time range %v-%v", t3.ModelTimeMinMS, t3.ModelTimeMaxMS)
+	}
+	if !strings.Contains(t3.Format(), "Table III") {
+		t.Fatal("Table III header wrong")
+	}
+}
+
+func TestHeadline(t *testing.T) {
+	l := newMicroLab(t)
+	h := l.Headline()
+	if h.SavedAtFullRecall <= 0 {
+		t.Fatalf("no time saved at full recall: %v", h.SavedAtFullRecall)
+	}
+	if h.SavedAtFullRecall >= 1 || h.SavedAt80Recall >= 1 {
+		t.Fatalf("savings out of range: %+v", h)
+	}
+	if !strings.Contains(h.Format(), "Headline") {
+		t.Fatal("format header wrong")
+	}
+}
+
+func TestQuickFullConfigs(t *testing.T) {
+	q, f := Quick(), Full()
+	if f.DatasetSize <= q.DatasetSize || f.Epochs <= q.Epochs {
+		t.Fatal("Full not larger than Quick")
+	}
+	if len(q.RecallGrid) == 0 || q.RecallGrid[len(q.RecallGrid)-1] != 1.0 {
+		t.Fatal("recall grid must end at 1.0")
+	}
+}

@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"ams/internal/metrics"
+	"ams/internal/rl"
+	"ams/internal/sched"
+	"ams/internal/sim"
+	"ams/internal/tensor"
+)
+
+// --- Fig. 11: scheduling under memory-deadline constraints -----------------
+
+// MemoryResult holds recall-vs-deadline curves for one GPU memory budget.
+type MemoryResult struct {
+	MemGB        float64
+	DeadlinesSec []float64
+	Policies     []string    // Agent (Algorithm 2), Random, Optimal*
+	Recall       [][]float64 // [policy][deadline]
+	PerfRatio    []float64   // Agent / Optimal* per deadline
+}
+
+// Fig11 evaluates Algorithm 2 under joint deadline and GPU memory budgets
+// (§VI-G). Following the paper it uses the worst transfer case: Agent1
+// (Stanford40-trained) on Dataset2 (VOC2012).
+func (l *Lab) Fig11() []MemoryResult {
+	agent := l.Agent(rl.DuelingDQN, DSStanford)
+	st := l.TestStore(DSVOC)
+	var results []MemoryResult
+	for _, memGB := range l.Cfg.MemBudgetsGB {
+		memMB := memGB * 1024
+		l.logf("fig11: deadline+memory scheduling, %vGB", memGB)
+		rng := tensor.NewRNG(l.seedFor(fmt.Sprintf("fig11/%v", memGB)))
+		res := MemoryResult{
+			MemGB:        memGB,
+			DeadlinesSec: l.Cfg.MemDeadlines,
+			Policies:     []string{"Agent", "Random", "Optimal*"},
+			Recall:       make([][]float64, 3),
+			PerfRatio:    make([]float64, len(l.Cfg.MemDeadlines)),
+		}
+		for i := range res.Recall {
+			res.Recall[i] = make([]float64, len(res.DeadlinesSec))
+		}
+		n := float64(st.NumScenes())
+		packer := sched.NewMemoryPacker(agent, l.Zoo)
+		random := sched.NewRandomPacker(l.Zoo, rng)
+		for di, dSec := range res.DeadlinesSec {
+			dMS := dSec * 1000
+			var agentSum, randSum, optSum float64
+			for i := 0; i < st.NumScenes(); i++ {
+				agentSum += sim.RunParallel(st, i, packer, dMS, memMB).Recall
+				randSum += sim.RunParallel(st, i, random, dMS, memMB).Recall
+				optSum += sched.OptimalStarMemory(st, i, dMS, memMB)
+			}
+			res.Recall[0][di] = agentSum / n
+			res.Recall[1][di] = randSum / n
+			res.Recall[2][di] = optSum / n
+			if res.Recall[2][di] > 0 {
+				res.PerfRatio[di] = res.Recall[0][di] / res.Recall[2][di]
+			} else {
+				res.PerfRatio[di] = 1
+			}
+		}
+		results = append(results, res)
+	}
+	return results
+}
+
+// Format renders one memory budget's panel of Fig. 11.
+func (r MemoryResult) Format() string {
+	series := make([]metrics.Series, len(r.Policies))
+	for i, p := range r.Policies {
+		series[i] = metrics.Series{Name: p, Y: r.Recall[i]}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig. 11 (%.0fGB memory) — recall under deadline+memory constraints\n", r.MemGB)
+	b.WriteString(metrics.SeriesTable("deadline(s)", r.DeadlinesSec, series, 2))
+	b.WriteString("performance ratio (Agent / Optimal*, reference 1-1/e = 0.632):\n")
+	b.WriteString(metrics.SeriesTable("deadline(s)", r.DeadlinesSec,
+		[]metrics.Series{{Name: "ratio", Y: r.PerfRatio}}, 2))
+	return b.String()
+}

@@ -1,0 +1,228 @@
+// Package graph implements the model-relationship graph the paper's
+// conclusion proposes as future work: a fast-to-construct statistical
+// summary of how models' labeling capacities relate ("if a pose estimator
+// found keypoints, an action classifier will probably produce something
+// valuable too").
+//
+// The graph is mined in one pass over oracle ground truth: for every
+// ordered model pair (i, j) it estimates P(j valuable | i valuable) and
+// P(j valuable | i not valuable), alongside each model's base rate and
+// expected valuable output value. A naive-Bayes belief update over these
+// tables yields a lightweight scheduling policy that needs no neural
+// network at all — a useful baseline between the handcrafted rules and
+// the DRL agent.
+package graph
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"ams/internal/oracle"
+)
+
+// Graph is the mined model-relationship graph.
+type Graph struct {
+	NumModels int
+
+	// BaseRate[m] is P(model m emits valuable output) over the corpus.
+	BaseRate []float64
+	// MeanValue[m] is E[valuable output value of m | m valuable].
+	MeanValue []float64
+	// CondYes[i][j] is P(j valuable | i valuable).
+	CondYes [][]float64
+	// CondNo[i][j] is P(j valuable | i not valuable).
+	CondNo [][]float64
+
+	scenes int
+}
+
+// Build mines the graph from a ground-truth store in a single pass.
+func Build(st *oracle.Store) *Graph {
+	n := st.NumModels()
+	g := &Graph{
+		NumModels: n,
+		BaseRate:  make([]float64, n),
+		MeanValue: make([]float64, n),
+		CondYes:   make([][]float64, n),
+		CondNo:    make([][]float64, n),
+		scenes:    st.NumScenes(),
+	}
+	yesCount := make([]float64, n)
+	valueSum := make([]float64, n)
+	coYes := make([][]float64, n) // i valuable and j valuable
+	noCount := make([]float64, n) // i not valuable
+	coNo := make([][]float64, n)  // i not valuable and j valuable
+	for i := 0; i < n; i++ {
+		g.CondYes[i] = make([]float64, n)
+		g.CondNo[i] = make([]float64, n)
+		coYes[i] = make([]float64, n)
+		coNo[i] = make([]float64, n)
+	}
+	valuable := make([]bool, n)
+	for s := 0; s < st.NumScenes(); s++ {
+		for m := 0; m < n; m++ {
+			v := st.ModelValue(s, m)
+			valuable[m] = v > 0
+			if valuable[m] {
+				yesCount[m]++
+				valueSum[m] += v
+			} else {
+				noCount[m]++
+			}
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if i == j || !valuable[j] {
+					continue
+				}
+				if valuable[i] {
+					coYes[i][j]++
+				} else {
+					coNo[i][j]++
+				}
+			}
+		}
+	}
+	total := float64(st.NumScenes())
+	for m := 0; m < n; m++ {
+		g.BaseRate[m] = yesCount[m] / total
+		if yesCount[m] > 0 {
+			g.MeanValue[m] = valueSum[m] / yesCount[m]
+		}
+	}
+	// Laplace smoothing keeps the conditionals away from 0/1 so the
+	// log-odds belief update stays finite.
+	const alpha = 1
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			g.CondYes[i][j] = (coYes[i][j] + alpha*g.BaseRate[j]) / (yesCount[i] + alpha)
+			g.CondNo[i][j] = (coNo[i][j] + alpha*g.BaseRate[j]) / (noCount[i] + alpha)
+		}
+	}
+	return g
+}
+
+// Lift returns CondYes[i][j] / BaseRate[j]: how much model i being
+// valuable raises the odds of j being valuable (1 = independent).
+func (g *Graph) Lift(i, j int) float64 {
+	if g.BaseRate[j] <= 0 {
+		return 1
+	}
+	return g.CondYes[i][j] / g.BaseRate[j]
+}
+
+// Edge is one directed relationship.
+type Edge struct {
+	From, To int
+	Lift     float64
+}
+
+// TopEdges returns the k strongest positive relationships by lift,
+// considering only pairs with meaningful base rates.
+func (g *Graph) TopEdges(k int) []Edge {
+	var edges []Edge
+	for i := 0; i < g.NumModels; i++ {
+		for j := 0; j < g.NumModels; j++ {
+			if i == j || g.BaseRate[j] < 0.01 {
+				continue
+			}
+			edges = append(edges, Edge{From: i, To: j, Lift: g.Lift(i, j)})
+		}
+	}
+	sort.Slice(edges, func(a, b int) bool { return edges[a].Lift > edges[b].Lift })
+	if k > len(edges) {
+		k = len(edges)
+	}
+	return edges[:k]
+}
+
+// Format renders the strongest edges with model names.
+func (g *Graph) Format(names []string, k int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "model-relationship graph (%d scenes, top %d edges by lift)\n", g.scenes, k)
+	for _, e := range g.TopEdges(k) {
+		fmt.Fprintf(&b, "  %-22s -> %-22s lift %.2f (P %.2f over base %.2f)\n",
+			names[e.From], names[e.To], e.Lift, g.CondYes[e.From][e.To], g.BaseRate[e.To])
+	}
+	return b.String()
+}
+
+// Belief tracks per-model valuable-probability estimates for one image,
+// updated by naive-Bayes log-odds accumulation as executions reveal which
+// models were valuable.
+type Belief struct {
+	g      *Graph
+	logit  []float64
+	known  []bool // model executed: belief pinned to the observation
+	actual []bool
+}
+
+// NewBelief starts from the base rates.
+func (g *Graph) NewBelief() *Belief {
+	b := &Belief{
+		g:      g,
+		logit:  make([]float64, g.NumModels),
+		known:  make([]bool, g.NumModels),
+		actual: make([]bool, g.NumModels),
+	}
+	for m := range b.logit {
+		b.logit[m] = logit(g.BaseRate[m])
+	}
+	return b
+}
+
+// Observe records that model i executed and whether it produced valuable
+// output, updating every unexecuted model's belief.
+func (b *Belief) Observe(i int, valuable bool) {
+	b.known[i] = true
+	b.actual[i] = valuable
+	for j := range b.logit {
+		if j == i || b.known[j] {
+			continue
+		}
+		var cond float64
+		if valuable {
+			cond = b.g.CondYes[i][j]
+		} else {
+			cond = b.g.CondNo[i][j]
+		}
+		// Naive-Bayes evidence: add the log-likelihood ratio vs the base.
+		b.logit[j] += logit(cond) - logit(b.g.BaseRate[j])
+	}
+}
+
+// Prob returns the current probability model m would be valuable. For an
+// executed model it returns the observed outcome (0 or 1).
+func (b *Belief) Prob(m int) float64 {
+	if b.known[m] {
+		if b.actual[m] {
+			return 1
+		}
+		return 0
+	}
+	return sigmoid(b.logit[m])
+}
+
+// ExpectedValue returns Prob(m) times the model's mean valuable value —
+// the graph policy's analogue of the DRL agent's Q value.
+func (b *Belief) ExpectedValue(m int) float64 {
+	return b.Prob(m) * b.g.MeanValue[m]
+}
+
+func logit(p float64) float64 {
+	const eps = 1e-4
+	if p < eps {
+		p = eps
+	}
+	if p > 1-eps {
+		p = 1 - eps
+	}
+	return math.Log(p / (1 - p))
+}
+
+func sigmoid(x float64) float64 { return 1 / (1 + math.Exp(-x)) }

@@ -1,0 +1,182 @@
+package graph
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"ams/internal/labels"
+	"ams/internal/oracle"
+	"ams/internal/sched"
+	"ams/internal/sim"
+	"ams/internal/synth"
+	"ams/internal/tensor"
+	"ams/internal/zoo"
+)
+
+var (
+	vocab = labels.NewVocabulary()
+	z     = zoo.NewZoo(vocab)
+	ds    = synth.NewDataset(vocab, synth.MSCOCO(), 300, 91)
+	store = oracle.Build(z, ds.Scenes)
+	g     = Build(store)
+)
+
+func TestGraphShape(t *testing.T) {
+	if g.NumModels != zoo.NumModels {
+		t.Fatalf("graph over %d models", g.NumModels)
+	}
+	for m := 0; m < g.NumModels; m++ {
+		if g.BaseRate[m] < 0 || g.BaseRate[m] > 1 {
+			t.Fatalf("base rate out of range: %v", g.BaseRate[m])
+		}
+		if g.MeanValue[m] < 0 {
+			t.Fatalf("negative mean value")
+		}
+	}
+}
+
+func TestConditionalsAreProbabilities(t *testing.T) {
+	for i := 0; i < g.NumModels; i++ {
+		for j := 0; j < g.NumModels; j++ {
+			if i == j {
+				continue
+			}
+			if g.CondYes[i][j] <= 0 || g.CondYes[i][j] >= 1 {
+				t.Fatalf("CondYes[%d][%d]=%v not smoothed into (0,1)", i, j, g.CondYes[i][j])
+			}
+			if g.CondNo[i][j] <= 0 || g.CondNo[i][j] >= 1 {
+				t.Fatalf("CondNo[%d][%d]=%v not smoothed into (0,1)", i, j, g.CondNo[i][j])
+			}
+		}
+	}
+}
+
+func TestSemanticRelationshipsMined(t *testing.T) {
+	// A face detector being valuable must strongly raise the probability
+	// that face landmark models are valuable, and vice versa for the
+	// negative conditional.
+	face, _ := z.ByName("facedet-mtcnn")
+	lmk, _ := z.ByName("facelmk-2dfan")
+	if g.CondYes[face.ID][lmk.ID] <= g.BaseRate[lmk.ID] {
+		t.Fatalf("face=>landmark lift missing: cond %v base %v",
+			g.CondYes[face.ID][lmk.ID], g.BaseRate[lmk.ID])
+	}
+	if g.CondNo[face.ID][lmk.ID] >= g.BaseRate[lmk.ID] {
+		t.Fatalf("no-face=>landmark should drop below base: cond %v base %v",
+			g.CondNo[face.ID][lmk.ID], g.BaseRate[lmk.ID])
+	}
+	// Object detectors seeing dogs should promote breed classifiers.
+	det, _ := z.ByName("objdet-accurate")
+	dog, _ := z.ByName("dogcls-finegrained")
+	if g.Lift(det.ID, dog.ID) <= 0 {
+		t.Fatalf("degenerate lift")
+	}
+}
+
+func TestTopEdgesSortedAndFormat(t *testing.T) {
+	edges := g.TopEdges(15)
+	if len(edges) != 15 {
+		t.Fatalf("got %d edges", len(edges))
+	}
+	for i := 1; i < len(edges); i++ {
+		if edges[i-1].Lift < edges[i].Lift {
+			t.Fatalf("edges not sorted at %d", i)
+		}
+	}
+	names := make([]string, len(z.Models))
+	for i, m := range z.Models {
+		names[i] = m.Name
+	}
+	out := g.Format(names, 5)
+	if !strings.Contains(out, "lift") {
+		t.Fatalf("format missing content:\n%s", out)
+	}
+}
+
+func TestBeliefUpdates(t *testing.T) {
+	face, _ := z.ByName("facedet-mtcnn")
+	lmk, _ := z.ByName("facelmk-2dfan")
+	b := g.NewBelief()
+	prior := b.Prob(lmk.ID)
+	if math.Abs(prior-g.BaseRate[lmk.ID]) > 1e-9 {
+		t.Fatalf("prior %v != base rate %v", prior, g.BaseRate[lmk.ID])
+	}
+	b.Observe(face.ID, true)
+	if b.Prob(lmk.ID) <= prior {
+		t.Fatalf("positive face evidence did not raise landmark belief")
+	}
+	if b.Prob(face.ID) != 1 {
+		t.Fatalf("executed valuable model belief %v != 1", b.Prob(face.ID))
+	}
+	b2 := g.NewBelief()
+	b2.Observe(face.ID, false)
+	if b2.Prob(lmk.ID) >= prior {
+		t.Fatalf("negative face evidence did not lower landmark belief")
+	}
+	if b2.Prob(face.ID) != 0 {
+		t.Fatalf("executed valueless model belief %v != 0", b2.Prob(face.ID))
+	}
+}
+
+func TestBeliefProbsStayInRange(t *testing.T) {
+	rng := tensor.NewRNG(3)
+	for trial := 0; trial < 20; trial++ {
+		b := g.NewBelief()
+		for _, m := range rng.Perm(g.NumModels) {
+			b.Observe(m, rng.Bool(0.5))
+			for j := 0; j < g.NumModels; j++ {
+				p := b.Prob(j)
+				if p < 0 || p > 1 || math.IsNaN(p) {
+					t.Fatalf("belief out of range: %v", p)
+				}
+			}
+		}
+	}
+}
+
+func TestGraphPolicyBeatsRandom(t *testing.T) {
+	// Evaluate on held-out scenes from the same distribution.
+	test := synth.NewDataset(vocab, synth.MSCOCO(), 120, 191)
+	testStore := oracle.Build(z, test.Scenes)
+	rng := tensor.NewRNG(7)
+	var graphN, randN int
+	var graphT, randT float64
+	for i := 0; i < testStore.NumScenes(); i++ {
+		gr := sim.RunToRecall(testStore, i, NewOrderPolicy(g), 1.0)
+		rr := sim.RunToRecall(testStore, i, sched.NewRandomOrder(rng), 1.0)
+		graphN += len(gr.Executed)
+		randN += len(rr.Executed)
+		graphT += gr.TimeMS
+		randT += rr.TimeMS
+	}
+	if graphN >= randN {
+		t.Fatalf("graph policy executions %d not below random %d", graphN, randN)
+	}
+	if graphT >= randT {
+		t.Fatalf("graph policy time %v not below random %v", graphT, randT)
+	}
+}
+
+func TestGraphDeadlinePolicyBeatsRandom(t *testing.T) {
+	test := synth.NewDataset(vocab, synth.MSCOCO(), 120, 193)
+	testStore := oracle.Build(z, test.Scenes)
+	rng := tensor.NewRNG(9)
+	var graphR, randR float64
+	const deadline = 800
+	for i := 0; i < testStore.NumScenes(); i++ {
+		graphR += sim.RunDeadline(testStore, i, NewDeadlinePolicy(g, z), deadline).Recall
+		randR += sim.RunDeadline(testStore, i, sched.NewRandomDeadline(z, rng), deadline).Recall
+	}
+	if graphR <= randR {
+		t.Fatalf("graph deadline policy (%v) not above random (%v)", graphR, randR)
+	}
+}
+
+func TestDeadlinePolicyRespectsBudget(t *testing.T) {
+	p := NewDeadlinePolicy(g, z)
+	res := sim.RunDeadline(store, 0, p, 300)
+	if res.TimeMS > 300+1e-9 {
+		t.Fatalf("deadline violated: %v", res.TimeMS)
+	}
+}

@@ -1,0 +1,82 @@
+package graph
+
+import (
+	"ams/internal/oracle"
+	"ams/internal/zoo"
+)
+
+// OrderPolicy schedules models by descending expected value under the
+// graph belief — a DRL-free counterpart of the Q-greedy policy. It
+// implements sim.OrderPolicy.
+type OrderPolicy struct {
+	g      *Graph
+	belief *Belief
+}
+
+// NewOrderPolicy returns a fresh graph-driven policy.
+func NewOrderPolicy(g *Graph) *OrderPolicy { return &OrderPolicy{g: g} }
+
+// Name implements sim.OrderPolicy.
+func (p *OrderPolicy) Name() string { return "Graph" }
+
+// Reset implements sim.OrderPolicy.
+func (p *OrderPolicy) Reset(int) { p.belief = p.g.NewBelief() }
+
+// Next implements sim.OrderPolicy.
+func (p *OrderPolicy) Next(t *oracle.Tracker) int {
+	best, bestV := -1, 0.0
+	for _, m := range t.Unexecuted() {
+		v := p.belief.ExpectedValue(m)
+		if best < 0 || v > bestV {
+			best, bestV = m, v
+		}
+	}
+	return best
+}
+
+// Observe implements sim.OrderPolicy: the model was valuable when it
+// emitted any label at or above the threshold.
+func (p *OrderPolicy) Observe(m int, out zoo.Output) {
+	p.belief.Observe(m, out.Value(zoo.ValuableThreshold) > 0)
+}
+
+// DeadlinePolicy is the graph analogue of Algorithm 1: expected value per
+// unit time among models that still fit the budget. It implements
+// sim.DeadlinePolicy.
+type DeadlinePolicy struct {
+	g      *Graph
+	z      *zoo.Zoo
+	belief *Belief
+}
+
+// NewDeadlinePolicy returns the graph-driven deadline policy.
+func NewDeadlinePolicy(g *Graph, z *zoo.Zoo) *DeadlinePolicy {
+	return &DeadlinePolicy{g: g, z: z}
+}
+
+// Name implements sim.DeadlinePolicy.
+func (p *DeadlinePolicy) Name() string { return "Graph" }
+
+// Reset implements sim.DeadlinePolicy.
+func (p *DeadlinePolicy) Reset(int) { p.belief = p.g.NewBelief() }
+
+// Next implements sim.DeadlinePolicy.
+func (p *DeadlinePolicy) Next(t *oracle.Tracker, remainingMS float64) int {
+	best, bestD := -1, 0.0
+	for _, m := range t.Unexecuted() {
+		mt := p.z.Models[m].TimeMS
+		if mt > remainingMS {
+			continue
+		}
+		d := p.belief.ExpectedValue(m) / mt
+		if best < 0 || d > bestD {
+			best, bestD = m, d
+		}
+	}
+	return best
+}
+
+// Observe implements sim.DeadlinePolicy.
+func (p *DeadlinePolicy) Observe(m int, out zoo.Output) {
+	p.belief.Observe(m, out.Value(zoo.ValuableThreshold) > 0)
+}

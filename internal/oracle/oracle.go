@@ -1,0 +1,235 @@
+// Package oracle precomputes the "no policy" ground truth the paper's
+// evaluation relies on: the output of every model on every image of a
+// dataset, stored once ("We executed all 30 models on 5 datasets and
+// stored the output labels and confidences"). On top of the store it
+// provides the valuable-label bookkeeping (value, recall) and the labeling
+// state tracker that both the DRL training environment and the policy
+// evaluation loops consume.
+package oracle
+
+import (
+	"fmt"
+	"sort"
+
+	"ams/internal/synth"
+	"ams/internal/zoo"
+)
+
+// Store holds the precomputed execution results for one scene collection.
+type Store struct {
+	Zoo    *zoo.Zoo
+	Scenes []synth.Scene
+
+	outputs [][]zoo.Output // [scene][model]
+
+	// Derived per-scene ground truth.
+	labelValue []map[int]float64 // valuable label -> its truth value (best conf)
+	totalValue []float64         // sum of labelValue
+	modelValue [][]float64       // [scene][model]: static true output value
+}
+
+// Build executes every model on every scene once and indexes the results.
+func Build(z *zoo.Zoo, scenes []synth.Scene) *Store {
+	if len(scenes) == 0 {
+		panic("oracle: empty scene collection")
+	}
+	st := &Store{
+		Zoo:        z,
+		Scenes:     scenes,
+		outputs:    make([][]zoo.Output, len(scenes)),
+		labelValue: make([]map[int]float64, len(scenes)),
+		totalValue: make([]float64, len(scenes)),
+		modelValue: make([][]float64, len(scenes)),
+	}
+	for i := range scenes {
+		st.outputs[i] = make([]zoo.Output, len(z.Models))
+		for mi, m := range z.Models {
+			st.outputs[i][mi] = m.Infer(&scenes[i])
+		}
+	}
+	// A valuable label's value is its profit-weighted confidence
+	// (f in Eq. 1 with p_i = profit_i * conf).
+	st.deriveValues()
+	return st
+}
+
+// NumScenes returns the number of stored scenes.
+func (st *Store) NumScenes() int { return len(st.Scenes) }
+
+// NumModels returns the number of models in the zoo.
+func (st *Store) NumModels() int { return len(st.Zoo.Models) }
+
+// Output returns the precomputed output of model m on scene i.
+func (st *Store) Output(i, m int) zoo.Output { return st.outputs[i][m] }
+
+// TotalValue returns the summed truth value of every valuable label of
+// scene i (the denominator of the recall rate).
+func (st *Store) TotalValue(i int) float64 { return st.totalValue[i] }
+
+// LabelValue returns the truth value of a valuable label on scene i
+// (0 when the label is not valuable there).
+func (st *Store) LabelValue(i, label int) float64 { return st.labelValue[i][label] }
+
+// ModelValue returns the static true output value of model m on scene i:
+// the sum of confidences of its valuable output labels, ignoring overlap
+// with other models. The paper's optimal policy ranks models by this.
+func (st *Store) ModelValue(i, m int) float64 { return st.modelValue[i][m] }
+
+// OptimalOrder returns model indices in descending order of true output
+// value on scene i, breaking ties by ascending execution time so the
+// cheaper model runs first.
+func (st *Store) OptimalOrder(i int) []int {
+	order := make([]int, st.NumModels())
+	for m := range order {
+		order[m] = m
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		va, vb := st.modelValue[i][order[a]], st.modelValue[i][order[b]]
+		if va != vb {
+			return va > vb
+		}
+		return st.Zoo.Models[order[a]].TimeMS < st.Zoo.Models[order[b]].TimeMS
+	})
+	return order
+}
+
+// ValuableModels returns the models that emit at least one valuable label
+// on scene i — the executions the ideal "optimal policy" of the paper's
+// §II would perform.
+func (st *Store) ValuableModels(i int) []int {
+	var ms []int
+	for m := range st.Zoo.Models {
+		if st.modelValue[i][m] > 0 {
+			ms = append(ms, m)
+		}
+	}
+	return ms
+}
+
+// OptimalTimeMS returns the summed time of the valuable models of scene i
+// (the "optimal policy" cost).
+func (st *Store) OptimalTimeMS(i int) float64 {
+	var t float64
+	for _, m := range st.ValuableModels(i) {
+		t += st.Zoo.Models[m].TimeMS
+	}
+	return t
+}
+
+// Tracker tracks the labeling state of one scene while models execute:
+// which labels have been emitted (at any confidence — this binary vector
+// is the DRL observation), which models ran, and how much valuable value
+// has been recalled.
+type Tracker struct {
+	st    *Store
+	scene int
+
+	emitted  map[int]bool // label emitted at any confidence
+	recalled map[int]bool // valuable label emitted at >= threshold
+	executed []bool
+	state    []int // sorted emitted label IDs (the sparse DRL state)
+
+	recalledValue float64
+	executedCount int
+}
+
+// NewTracker starts an empty labeling state for scene i.
+func NewTracker(st *Store, i int) *Tracker {
+	if i < 0 || i >= st.NumScenes() {
+		panic(fmt.Sprintf("oracle: scene index %d out of range", i))
+	}
+	return &Tracker{
+		st:       st,
+		scene:    i,
+		emitted:  make(map[int]bool),
+		recalled: make(map[int]bool),
+		executed: make([]bool, st.NumModels()),
+	}
+}
+
+// Scene returns the tracked scene index.
+func (t *Tracker) Scene() int { return t.scene }
+
+// Executed reports whether model m has run.
+func (t *Tracker) Executed(m int) bool { return t.executed[m] }
+
+// ExecutedCount returns how many models have run.
+func (t *Tracker) ExecutedCount() int { return t.executedCount }
+
+// Execute replays model m's stored output into the state and returns the
+// newly emitted labels — O'(m,d) in the paper: labels not previously
+// output by any executed model, at any confidence. Executing a model twice
+// panics; the scheduler must never do that.
+func (t *Tracker) Execute(m int) []zoo.LabelConf {
+	if t.executed[m] {
+		panic(fmt.Sprintf("oracle: model %d executed twice on scene %d", m, t.scene))
+	}
+	t.executed[m] = true
+	t.executedCount++
+	out := t.st.outputs[t.scene][m]
+	var fresh []zoo.LabelConf
+	for _, lc := range out.Labels {
+		if !t.emitted[lc.ID] {
+			t.emitted[lc.ID] = true
+			t.insertState(lc.ID)
+			fresh = append(fresh, lc)
+		}
+		if lc.Conf >= zoo.ValuableThreshold && !t.recalled[lc.ID] {
+			t.recalled[lc.ID] = true
+			t.recalledValue += t.st.labelValue[t.scene][lc.ID]
+		}
+	}
+	return fresh
+}
+
+// insertState keeps the sparse state sorted for deterministic hashing and
+// network input.
+func (t *Tracker) insertState(id int) {
+	pos := sort.SearchInts(t.state, id)
+	t.state = append(t.state, 0)
+	copy(t.state[pos+1:], t.state[pos:])
+	t.state[pos] = id
+}
+
+// State returns the sorted emitted-label indices (the DRL observation).
+// The slice aliases tracker storage; callers must copy before mutating.
+func (t *Tracker) State() []int { return t.state }
+
+// Recall returns the fraction of total valuable value recalled so far.
+// Scenes with no valuable labels report full recall.
+func (t *Tracker) Recall() float64 {
+	total := t.st.totalValue[t.scene]
+	if total <= 0 {
+		return 1
+	}
+	return t.recalledValue / total
+}
+
+// RecalledValue returns the absolute recalled value.
+func (t *Tracker) RecalledValue() float64 { return t.recalledValue }
+
+// MarginalValue returns the valuable value model m would add to the
+// current state: the summed truth value of its valuable labels that have
+// not been recalled yet. This is f(S ∪ {m}) − f(S) with perfect knowledge
+// and backs the optimal* policy.
+func (t *Tracker) MarginalValue(m int) float64 {
+	var v float64
+	for _, lc := range t.st.outputs[t.scene][m].Labels {
+		if lc.Conf >= zoo.ValuableThreshold && !t.recalled[lc.ID] {
+			v += t.st.labelValue[t.scene][lc.ID]
+		}
+	}
+	return v
+}
+
+// Unexecuted returns the indices of models that have not run, in model-ID
+// order.
+func (t *Tracker) Unexecuted() []int {
+	var ms []int
+	for m, done := range t.executed {
+		if !done {
+			ms = append(ms, m)
+		}
+	}
+	return ms
+}

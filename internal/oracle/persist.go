@@ -1,0 +1,118 @@
+package oracle
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"ams/internal/synth"
+	"ams/internal/zoo"
+)
+
+// storeBlob is the gob wire format of a Store. Only the scenes and raw
+// outputs travel; the derived valuation tables are rebuilt on load so a
+// store saved under one profit configuration cannot silently leak stale
+// values into another.
+type storeBlob struct {
+	Scenes  []synth.Scene
+	Outputs [][]zoo.Output
+}
+
+// Save writes the store's ground truth to w. The zoo itself is not
+// serialized: the loader must supply an identical registry (enforced by
+// the output shape check on load).
+func (st *Store) Save(w io.Writer) error {
+	blob := storeBlob{Scenes: st.Scenes, Outputs: st.outputs}
+	if err := gob.NewEncoder(w).Encode(blob); err != nil {
+		return fmt.Errorf("oracle: save store: %w", err)
+	}
+	return nil
+}
+
+// Load reads a store previously written with Save and re-derives the
+// valuation tables against the provided zoo (label profits are read from
+// the zoo's vocabulary at load time).
+func Load(r io.Reader, z *zoo.Zoo) (*Store, error) {
+	var blob storeBlob
+	if err := gob.NewDecoder(r).Decode(&blob); err != nil {
+		return nil, fmt.Errorf("oracle: load store: %w", err)
+	}
+	if len(blob.Scenes) == 0 || len(blob.Scenes) != len(blob.Outputs) {
+		return nil, fmt.Errorf("oracle: load store: inconsistent blob (%d scenes, %d output rows)",
+			len(blob.Scenes), len(blob.Outputs))
+	}
+	for i, row := range blob.Outputs {
+		if len(row) != len(z.Models) {
+			return nil, fmt.Errorf("oracle: load store: scene %d has %d model outputs, zoo has %d",
+				i, len(row), len(z.Models))
+		}
+	}
+	st := &Store{
+		Zoo:        z,
+		Scenes:     blob.Scenes,
+		outputs:    blob.Outputs,
+		labelValue: make([]map[int]float64, len(blob.Scenes)),
+		totalValue: make([]float64, len(blob.Scenes)),
+		modelValue: make([][]float64, len(blob.Scenes)),
+	}
+	st.deriveValues()
+	return st, nil
+}
+
+// deriveValues recomputes the per-scene valuation tables from the stored
+// raw outputs.
+func (st *Store) deriveValues() {
+	for i := range st.Scenes {
+		st.modelValue[i] = make([]float64, len(st.Zoo.Models))
+		lv := make(map[int]float64)
+		for mi := range st.Zoo.Models {
+			for _, lc := range st.outputs[i][mi].Labels {
+				if lc.Conf < zoo.ValuableThreshold {
+					continue
+				}
+				v := st.Zoo.Vocab.Label(lc.ID).Profit * lc.Conf
+				st.modelValue[i][mi] += v
+				if v > lv[lc.ID] {
+					lv[lc.ID] = v
+				}
+			}
+		}
+		st.labelValue[i] = lv
+		// Sum in sorted label order so the total is bit-identical across
+		// runs (map iteration order is randomized).
+		ids := make([]int, 0, len(lv))
+		for id := range lv {
+			ids = append(ids, id)
+		}
+		sort.Ints(ids)
+		st.totalValue[i] = 0
+		for _, id := range ids {
+			st.totalValue[i] += lv[id]
+		}
+	}
+}
+
+// SaveFile writes the store to the named file.
+func (st *Store) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("oracle: save store: %w", err)
+	}
+	defer f.Close()
+	if err := st.Save(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads a store from the named file.
+func LoadFile(path string, z *zoo.Zoo) (*Store, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("oracle: load store: %w", err)
+	}
+	defer f.Close()
+	return Load(f, z)
+}

@@ -1,0 +1,63 @@
+package oracle
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestStoreSaveLoadRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := store.Save(&buf); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	loaded, err := Load(&buf, z)
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if loaded.NumScenes() != store.NumScenes() || loaded.NumModels() != store.NumModels() {
+		t.Fatalf("shape mismatch after load")
+	}
+	for i := 0; i < store.NumScenes(); i++ {
+		if loaded.TotalValue(i) != store.TotalValue(i) {
+			t.Fatalf("scene %d total value %v != %v", i, loaded.TotalValue(i), store.TotalValue(i))
+		}
+		for m := 0; m < store.NumModels(); m++ {
+			if loaded.ModelValue(i, m) != store.ModelValue(i, m) {
+				t.Fatalf("scene %d model %d value differs", i, m)
+			}
+			a, b := loaded.Output(i, m), store.Output(i, m)
+			if len(a.Labels) != len(b.Labels) {
+				t.Fatalf("scene %d model %d output size differs", i, m)
+			}
+		}
+	}
+	// Trackers over the loaded store behave identically.
+	ta, tb := NewTracker(store, 0), NewTracker(loaded, 0)
+	for m := 0; m < store.NumModels(); m++ {
+		ta.Execute(m)
+		tb.Execute(m)
+		if ta.Recall() != tb.Recall() {
+			t.Fatalf("recall diverges after model %d", m)
+		}
+	}
+}
+
+func TestStoreFileRoundTrip(t *testing.T) {
+	path := t.TempDir() + "/store.gob"
+	if err := store.SaveFile(path); err != nil {
+		t.Fatalf("SaveFile: %v", err)
+	}
+	loaded, err := LoadFile(path, z)
+	if err != nil {
+		t.Fatalf("LoadFile: %v", err)
+	}
+	if loaded.NumScenes() != store.NumScenes() {
+		t.Fatal("file round trip lost scenes")
+	}
+}
+
+func TestLoadRejectsGarbageAndMismatch(t *testing.T) {
+	if _, err := Load(bytes.NewBufferString("junk"), z); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}

@@ -1,0 +1,92 @@
+package rules
+
+import (
+	"testing"
+
+	"ams/internal/zoo"
+)
+
+func TestSiblingDemotion(t *testing.T) {
+	e := NewEngine(vocab, z, TableII())
+	e.EnableSiblingDemotion(0.4)
+	det := mustModel(t, "objdet-fast")
+	e.ObserveOutput(det, nil)
+	acc := mustModel(t, "objdet-accurate")
+	animal := mustModel(t, "objdet-animal")
+	if e.Weight(acc.ID) != 0.4 || e.Weight(animal.ID) != 0.4 {
+		t.Fatalf("siblings not demoted: %v %v", e.Weight(acc.ID), e.Weight(animal.ID))
+	}
+	// The executed model's own weight is untouched (the policy never
+	// reselects executed models anyway).
+	if e.Weight(det.ID) != 1 {
+		t.Fatalf("executed model weight changed: %v", e.Weight(det.ID))
+	}
+	// Other tasks unaffected.
+	pose := mustModel(t, "pose-openpose")
+	if e.Weight(pose.ID) != 1 {
+		t.Fatalf("unrelated model demoted: %v", e.Weight(pose.ID))
+	}
+}
+
+func TestSiblingDemotionComposesWithRules(t *testing.T) {
+	e := NewEngine(vocab, z, TableII())
+	e.EnableSiblingDemotion(0.4)
+	person := mustLabel(t, "object/person")
+	det := mustModel(t, "objdet-fast")
+	e.ObserveOutput(det, []zoo.LabelConf{{ID: person.ID, Conf: 0.9}})
+	// Pose promoted by the rule and not demoted (different task).
+	pose := mustModel(t, "pose-openpose")
+	if e.Weight(pose.ID) != 2 {
+		t.Fatalf("pose weight %v, want 2", e.Weight(pose.ID))
+	}
+	// Running a pose model then demotes its siblings below the promoted
+	// level but keeps the rule boost partially.
+	e.ObserveOutput(pose, nil)
+	flow := mustModel(t, "pose-flow")
+	if w := e.Weight(flow.ID); w != 0.8 {
+		t.Fatalf("pose sibling weight %v, want 2*0.4=0.8", w)
+	}
+}
+
+func TestSiblingDemotionFloor(t *testing.T) {
+	e := NewEngine(vocab, z, TableII())
+	e.EnableSiblingDemotion(0.4)
+	a := mustModel(t, "gender-fast")
+	for i := 0; i < 20; i++ {
+		e.ObserveOutput(a, nil)
+	}
+	b := mustModel(t, "gender-vgg")
+	if e.Weight(b.ID) < 1.0/64-1e-12 {
+		t.Fatalf("weight fell through the floor: %v", e.Weight(b.ID))
+	}
+}
+
+func TestSiblingDemotionValidation(t *testing.T) {
+	e := NewEngine(vocab, z, TableII())
+	for _, f := range []float64{0, 1, -0.5, 2} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("factor %v accepted", f)
+				}
+			}()
+			e.EnableSiblingDemotion(f)
+		}()
+	}
+}
+
+func TestResetKeepsSiblingSetting(t *testing.T) {
+	e := NewEngine(vocab, z, TableII())
+	e.EnableSiblingDemotion(0.4)
+	e.ObserveOutput(mustModel(t, "objdet-fast"), nil)
+	e.Reset()
+	for mi := range z.Models {
+		if e.Weight(mi) != 1 {
+			t.Fatal("Reset did not restore weights")
+		}
+	}
+	e.ObserveOutput(mustModel(t, "objdet-fast"), nil)
+	if e.Weight(mustModel(t, "objdet-accurate").ID) != 0.4 {
+		t.Fatal("sibling demotion lost after Reset")
+	}
+}

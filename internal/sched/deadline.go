@@ -1,0 +1,230 @@
+package sched
+
+import (
+	"ams/internal/oracle"
+	"ams/internal/tensor"
+	"ams/internal/zoo"
+)
+
+// --- Serial deadline policies (§VI-F) -----------------------------------
+
+// RandomDeadline randomly selects among the unexecuted models that still
+// fit in the remaining budget.
+type RandomDeadline struct {
+	z   *zoo.Zoo
+	rng *tensor.RNG
+}
+
+// NewRandomDeadline returns the random deadline baseline.
+func NewRandomDeadline(z *zoo.Zoo, rng *tensor.RNG) *RandomDeadline {
+	return &RandomDeadline{z: z, rng: rng}
+}
+
+// Name implements sim.DeadlinePolicy.
+func (p *RandomDeadline) Name() string { return "Random" }
+
+// Reset implements sim.DeadlinePolicy.
+func (p *RandomDeadline) Reset(int) {}
+
+// Next implements sim.DeadlinePolicy.
+func (p *RandomDeadline) Next(t *oracle.Tracker, remainingMS float64) int {
+	var feasible []int
+	for _, m := range t.Unexecuted() {
+		if p.z.Models[m].TimeMS <= remainingMS {
+			feasible = append(feasible, m)
+		}
+	}
+	if len(feasible) == 0 {
+		return -1
+	}
+	return feasible[p.rng.Intn(len(feasible))]
+}
+
+// Observe implements sim.DeadlinePolicy.
+func (p *RandomDeadline) Observe(int, zoo.Output) {}
+
+// QGreedyDeadline greedily picks the feasible model with the maximal Q
+// value until the deadline — the "Q Greedy" curve of Fig. 10.
+type QGreedyDeadline struct {
+	pred Predictor
+	z    *zoo.Zoo
+}
+
+// NewQGreedyDeadline returns the Q-greedy deadline policy.
+func NewQGreedyDeadline(pred Predictor, z *zoo.Zoo) *QGreedyDeadline {
+	return &QGreedyDeadline{pred: pred, z: z}
+}
+
+// Name implements sim.DeadlinePolicy.
+func (p *QGreedyDeadline) Name() string { return "Q-Greedy" }
+
+// Reset implements sim.DeadlinePolicy.
+func (p *QGreedyDeadline) Reset(int) {}
+
+// Next implements sim.DeadlinePolicy.
+func (p *QGreedyDeadline) Next(t *oracle.Tracker, remainingMS float64) int {
+	q := p.pred.Predict(t.State())
+	best, bestQ := -1, 0.0
+	for _, m := range t.Unexecuted() {
+		if p.z.Models[m].TimeMS > remainingMS {
+			continue
+		}
+		if best < 0 || q[m] > bestQ {
+			best, bestQ = m, q[m]
+		}
+	}
+	return best
+}
+
+// Observe implements sim.DeadlinePolicy.
+func (p *QGreedyDeadline) Observe(int, zoo.Output) {}
+
+// CostQGreedy is Algorithm 1: at each iteration filter the models that no
+// longer fit in the budget and execute the one maximizing Q(m,d)/m.time.
+// When every remaining feasible model has a non-positive Q the ratio
+// ordering degenerates, so the policy falls back to plain argmax Q — the
+// least-bad action, mirroring how a Q/time ratio over positive values
+// behaves.
+type CostQGreedy struct {
+	pred Predictor
+	z    *zoo.Zoo
+}
+
+// NewCostQGreedy returns Algorithm 1.
+func NewCostQGreedy(pred Predictor, z *zoo.Zoo) *CostQGreedy {
+	return &CostQGreedy{pred: pred, z: z}
+}
+
+// Name implements sim.DeadlinePolicy.
+func (p *CostQGreedy) Name() string { return "Cost-Q Greedy" }
+
+// Reset implements sim.DeadlinePolicy.
+func (p *CostQGreedy) Reset(int) {}
+
+// Next implements sim.DeadlinePolicy.
+func (p *CostQGreedy) Next(t *oracle.Tracker, remainingMS float64) int {
+	q := p.pred.Predict(t.State())
+	bestRatio, bestRatioM := 0.0, -1
+	bestQ, bestQM := 0.0, -1
+	for _, m := range t.Unexecuted() {
+		mt := p.z.Models[m].TimeMS
+		if mt > remainingMS {
+			continue
+		}
+		if q[m] > 0 {
+			if ratio := q[m] / mt; bestRatioM < 0 || ratio > bestRatio {
+				bestRatio, bestRatioM = ratio, m
+			}
+		}
+		if bestQM < 0 || q[m] > bestQ {
+			bestQ, bestQM = q[m], m
+		}
+	}
+	if bestRatioM >= 0 {
+		return bestRatioM
+	}
+	return bestQM
+}
+
+// Observe implements sim.DeadlinePolicy.
+func (p *CostQGreedy) Observe(int, zoo.Output) {}
+
+// --- Relaxed optimal* upper bound (§V-C) --------------------------------
+
+// OptimalStarDeadline computes the relaxed optimal* value for a scene
+// under a serial deadline, exactly as §V-C defines it: greedily take the
+// model with the maximal marginal-value/time density; the final model
+// that no longer fits contributes the corresponding fraction of its
+// marginal value. Because marginals shrink as the set grows (the function
+// is submodular, not modular), the greedy relaxation is the paper's
+// reference bound rather than a provable one — a feasible policy can
+// exceed it by a hair on rare scenes. Returned as a recall rate.
+func OptimalStarDeadline(st *oracle.Store, scene int, deadlineMS float64) float64 {
+	total := st.TotalValue(scene)
+	if total <= 0 {
+		return 1
+	}
+	t := oracle.NewTracker(st, scene)
+	remaining := deadlineMS
+	var value float64
+	for remaining > 0 && t.ExecutedCount() < st.NumModels() {
+		best, bestDensity := -1, 0.0
+		for _, m := range t.Unexecuted() {
+			mv := t.MarginalValue(m)
+			if mv <= 0 {
+				continue
+			}
+			d := mv / st.Zoo.Models[m].TimeMS
+			if best < 0 || d > bestDensity {
+				best, bestDensity = m, d
+			}
+		}
+		if best < 0 {
+			break
+		}
+		mt := st.Zoo.Models[best].TimeMS
+		mv := t.MarginalValue(best)
+		if mt <= remaining {
+			value += mv
+			remaining -= mt
+			t.Execute(best)
+			continue
+		}
+		// Fractional tail: the relaxation credits the proportional value.
+		value += mv * remaining / mt
+		break
+	}
+	r := value / total
+	if r > 1 {
+		r = 1
+	}
+	return r
+}
+
+// OptimalStarMemory computes the relaxed optimal* value under joint
+// deadline and memory budgets. Any feasible parallel schedule packs each
+// model's time x memory rectangle into the deadline x memory area, so the
+// fractional greedy over marginal-value/(time*mem) density bounded by that
+// area upper-bounds every feasible policy. Returned as a recall rate.
+func OptimalStarMemory(st *oracle.Store, scene int, deadlineMS, memMB float64) float64 {
+	total := st.TotalValue(scene)
+	if total <= 0 {
+		return 1
+	}
+	area := deadlineMS * memMB
+	t := oracle.NewTracker(st, scene)
+	var value float64
+	for area > 0 && t.ExecutedCount() < st.NumModels() {
+		best, bestDensity := -1, 0.0
+		for _, m := range t.Unexecuted() {
+			mv := t.MarginalValue(m)
+			if mv <= 0 {
+				continue
+			}
+			mod := st.Zoo.Models[m]
+			d := mv / (mod.TimeMS * mod.MemMB)
+			if best < 0 || d > bestDensity {
+				best, bestDensity = m, d
+			}
+		}
+		if best < 0 {
+			break
+		}
+		mod := st.Zoo.Models[best]
+		need := mod.TimeMS * mod.MemMB
+		mv := t.MarginalValue(best)
+		if need <= area {
+			value += mv
+			area -= need
+			t.Execute(best)
+			continue
+		}
+		value += mv * area / need
+		break
+	}
+	r := value / total
+	if r > 1 {
+		r = 1
+	}
+	return r
+}

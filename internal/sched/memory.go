@@ -1,0 +1,154 @@
+package sched
+
+import (
+	"ams/internal/oracle"
+	"ams/internal/tensor"
+	"ams/internal/zoo"
+)
+
+// --- Parallel deadline+memory selectors (§VI-G, Algorithm 2) ------------
+
+// MemoryPacker is Algorithm 2: at each scheduling point it first launches
+// the eligible model with the highest Q per unit resource area
+// (Q / (m.time * m.mem)), takes that model's completion as a temporary
+// deadline, then keeps launching models with the highest Q/m.mem ratio
+// that fit in the remaining memory and finish by the temporary deadline.
+type MemoryPacker struct {
+	pred Predictor
+	z    *zoo.Zoo
+}
+
+// NewMemoryPacker returns Algorithm 2.
+func NewMemoryPacker(pred Predictor, z *zoo.Zoo) *MemoryPacker {
+	return &MemoryPacker{pred: pred, z: z}
+}
+
+// Name implements sim.BatchSelector.
+func (p *MemoryPacker) Name() string { return "Agent" }
+
+// Reset implements sim.BatchSelector.
+func (p *MemoryPacker) Reset(int) {}
+
+// SelectStart implements sim.BatchSelector.
+func (p *MemoryPacker) SelectStart(t *oracle.Tracker, running []int, availMemMB, nowMS, deadlineMS float64) []int {
+	q := p.pred.Predict(t.State())
+	inFlight := toSet(running)
+
+	eligible := func(m int, mem, horizon float64) bool {
+		mod := p.z.Models[m]
+		return !t.Executed(m) && !inFlight[m] &&
+			mod.MemMB <= mem+1e-9 && nowMS+mod.TimeMS <= horizon+1e-9
+	}
+
+	// Anchor: highest value per resource area within the global deadline.
+	anchor, bestDensity := -1, 0.0
+	for _, m := range t.Unexecuted() {
+		if !eligible(m, availMemMB, deadlineMS) || q[m] <= 0 {
+			continue
+		}
+		mod := p.z.Models[m]
+		d := q[m] / (mod.TimeMS * mod.MemMB)
+		if anchor < 0 || d > bestDensity {
+			anchor, bestDensity = m, d
+		}
+	}
+	if anchor < 0 {
+		// No positive-value model fits; when the GPU is idle, fall back to
+		// the least-bad feasible model so the budget is not wasted.
+		if len(running) > 0 {
+			return nil
+		}
+		fallback, bestQ := -1, 0.0
+		for _, m := range t.Unexecuted() {
+			if !eligible(m, availMemMB, deadlineMS) {
+				continue
+			}
+			if fallback < 0 || q[m] > bestQ {
+				fallback, bestQ = m, q[m]
+			}
+		}
+		if fallback < 0 {
+			return nil
+		}
+		return []int{fallback}
+	}
+
+	starts := []int{anchor}
+	inFlight[anchor] = true
+	mem := availMemMB - p.z.Models[anchor].MemMB
+	tempDeadline := nowMS + p.z.Models[anchor].TimeMS
+
+	// Pack by Q/mem under the temporary deadline (Algorithm 2 lines 8-12).
+	for {
+		best, bestRatio := -1, 0.0
+		for _, m := range t.Unexecuted() {
+			if inFlight[m] || q[m] <= 0 {
+				continue
+			}
+			mod := p.z.Models[m]
+			if mod.MemMB > mem+1e-9 || nowMS+mod.TimeMS > tempDeadline+1e-9 {
+				continue
+			}
+			ratio := q[m] / mod.MemMB
+			if best < 0 || ratio > bestRatio {
+				best, bestRatio = m, ratio
+			}
+		}
+		if best < 0 {
+			break
+		}
+		starts = append(starts, best)
+		inFlight[best] = true
+		mem -= p.z.Models[best].MemMB
+	}
+	return starts
+}
+
+// RandomPacker is the random baseline of §VI-G: it launches randomly
+// chosen models that fit in memory and finish by the deadline, keeping
+// the GPU packed.
+type RandomPacker struct {
+	z   *zoo.Zoo
+	rng *tensor.RNG
+}
+
+// NewRandomPacker returns the random deadline+memory baseline.
+func NewRandomPacker(z *zoo.Zoo, rng *tensor.RNG) *RandomPacker {
+	return &RandomPacker{z: z, rng: rng}
+}
+
+// Name implements sim.BatchSelector.
+func (p *RandomPacker) Name() string { return "Random" }
+
+// Reset implements sim.BatchSelector.
+func (p *RandomPacker) Reset(int) {}
+
+// SelectStart implements sim.BatchSelector.
+func (p *RandomPacker) SelectStart(t *oracle.Tracker, running []int, availMemMB, nowMS, deadlineMS float64) []int {
+	inFlight := toSet(running)
+	mem := availMemMB
+	var starts []int
+	candidates := t.Unexecuted()
+	p.rng.Shuffle(candidates)
+	for _, m := range candidates {
+		if inFlight[m] {
+			continue
+		}
+		mod := p.z.Models[m]
+		if mod.MemMB > mem+1e-9 || nowMS+mod.TimeMS > deadlineMS+1e-9 {
+			continue
+		}
+		starts = append(starts, m)
+		inFlight[m] = true
+		mem -= mod.MemMB
+	}
+	return starts
+}
+
+func toSet(xs []int) map[int]bool {
+	s := make(map[int]bool, len(xs))
+	for _, x := range xs {
+		s[x] = true
+	}
+	return s
+}

@@ -1,0 +1,171 @@
+// Package sched implements the scheduling policies of the paper: the
+// random and optimal baselines, the plain Q-greedy policy, the
+// handcrafted-rule policy (§VI-C), Algorithm 1 (cost-Q greedy under a
+// deadline), Algorithm 2 (deadline+memory batch packing), the relaxed
+// optimal* upper bounds of §V-C, and the explore–exploit policy for
+// chunked (video-like) streams sketched in the paper's introduction.
+package sched
+
+import (
+	"ams/internal/oracle"
+	"ams/internal/rules"
+	"ams/internal/tensor"
+	"ams/internal/zoo"
+)
+
+// Predictor estimates per-model values from the sparse labeling state.
+// The DRL agent is the canonical implementation; Predict must return at
+// least NumModels entries (entries beyond the model count — e.g. the END
+// action — are ignored by policies).
+type Predictor interface {
+	Predict(state []int) []float64
+}
+
+// --- Unconstrained serial policies (recall-threshold experiments) -------
+
+// RandomOrder executes unexecuted models uniformly at random — the
+// paper's "random policy".
+type RandomOrder struct{ rng *tensor.RNG }
+
+// NewRandomOrder returns a random policy with its own RNG stream.
+func NewRandomOrder(rng *tensor.RNG) *RandomOrder { return &RandomOrder{rng: rng} }
+
+// Name implements sim.OrderPolicy.
+func (p *RandomOrder) Name() string { return "Random" }
+
+// Reset implements sim.OrderPolicy.
+func (p *RandomOrder) Reset(int) {}
+
+// Next implements sim.OrderPolicy.
+func (p *RandomOrder) Next(t *oracle.Tracker) int {
+	un := t.Unexecuted()
+	if len(un) == 0 {
+		return -1
+	}
+	return un[p.rng.Intn(len(un))]
+}
+
+// Observe implements sim.OrderPolicy.
+func (p *RandomOrder) Observe(int, zoo.Output) {}
+
+// OptimalOrder executes models in descending order of their true output
+// value — the paper's "optimal policy", which needs ground truth.
+type OptimalOrder struct {
+	st    *oracle.Store
+	order []int
+	pos   int
+}
+
+// NewOptimalOrder returns the optimal policy over the store.
+func NewOptimalOrder(st *oracle.Store) *OptimalOrder { return &OptimalOrder{st: st} }
+
+// Name implements sim.OrderPolicy.
+func (p *OptimalOrder) Name() string { return "Optimal" }
+
+// Reset implements sim.OrderPolicy.
+func (p *OptimalOrder) Reset(scene int) {
+	p.order = p.st.OptimalOrder(scene)
+	p.pos = 0
+}
+
+// Next implements sim.OrderPolicy.
+func (p *OptimalOrder) Next(t *oracle.Tracker) int {
+	for p.pos < len(p.order) {
+		m := p.order[p.pos]
+		p.pos++
+		if !t.Executed(m) {
+			return m
+		}
+	}
+	return -1
+}
+
+// Observe implements sim.OrderPolicy.
+func (p *OptimalOrder) Observe(int, zoo.Output) {}
+
+// QGreedyOrder executes the unexecuted model with the maximal predicted
+// Q value — the paper's "Q-value greedy policy".
+type QGreedyOrder struct {
+	pred      Predictor
+	numModels int
+}
+
+// NewQGreedyOrder returns a Q-greedy policy over numModels models.
+func NewQGreedyOrder(pred Predictor, numModels int) *QGreedyOrder {
+	return &QGreedyOrder{pred: pred, numModels: numModels}
+}
+
+// Name implements sim.OrderPolicy.
+func (p *QGreedyOrder) Name() string { return "Q-Greedy" }
+
+// Reset implements sim.OrderPolicy.
+func (p *QGreedyOrder) Reset(int) {}
+
+// Next implements sim.OrderPolicy.
+func (p *QGreedyOrder) Next(t *oracle.Tracker) int {
+	q := p.pred.Predict(t.State())
+	best, bestQ := -1, 0.0
+	for m := 0; m < p.numModels; m++ {
+		if t.Executed(m) {
+			continue
+		}
+		if best < 0 || q[m] > bestQ {
+			best, bestQ = m, q[m]
+		}
+	}
+	return best
+}
+
+// Observe implements sim.OrderPolicy.
+func (p *QGreedyOrder) Observe(int, zoo.Output) {}
+
+// RuleOrder is the handcrafted-rule policy. Models start with equal
+// weights; fired rules multiply their targets' weights. Selection takes a
+// uniformly random model among those with the current maximum weight, so
+// with no evidence the policy is the random baseline, and once a rule
+// fires its promoted models run immediately — without that sharpening the
+// trigger cascade (detector → pose → action) fires too late in a
+// 30-model pool to move the schedule at all.
+type RuleOrder struct {
+	engine *rules.Engine
+	z      *zoo.Zoo
+	rng    *tensor.RNG
+}
+
+// NewRuleOrder returns the rule-based policy.
+func NewRuleOrder(engine *rules.Engine, z *zoo.Zoo, rng *tensor.RNG) *RuleOrder {
+	return &RuleOrder{engine: engine, z: z, rng: rng}
+}
+
+// Name implements sim.OrderPolicy.
+func (p *RuleOrder) Name() string { return "Rule" }
+
+// Reset implements sim.OrderPolicy.
+func (p *RuleOrder) Reset(int) { p.engine.Reset() }
+
+// Next implements sim.OrderPolicy.
+func (p *RuleOrder) Next(t *oracle.Tracker) int {
+	un := t.Unexecuted()
+	if len(un) == 0 {
+		return -1
+	}
+	const eps = 1e-9
+	best := 0.0
+	for _, m := range un {
+		if w := p.engine.Weight(m); w > best {
+			best = w
+		}
+	}
+	var top []int
+	for _, m := range un {
+		if p.engine.Weight(m) >= best-eps {
+			top = append(top, m)
+		}
+	}
+	return top[p.rng.Intn(len(top))]
+}
+
+// Observe implements sim.OrderPolicy.
+func (p *RuleOrder) Observe(m int, out zoo.Output) {
+	p.engine.ObserveOutput(p.z.Models[m], out.Labels)
+}

@@ -1,0 +1,125 @@
+// Package service simulates a data-labeling service facing an arriving
+// stream: images arrive with exponential interarrival times, wait in a
+// FIFO queue, and are scheduled onto a pool of GPU workers, each of which
+// labels its item under a per-item deadline using a pluggable scheduling
+// policy. The simulation runs in virtual time (discrete events), so it
+// measures queueing behaviour — waiting time, end-to-end latency,
+// utilization, recall under load — deterministically and without real
+// sleeping.
+//
+// This is the serving-system view of the paper's motivation ("limited
+// computing resources and stringent delay" for a data stream): the same
+// per-item scheduling policies, embedded in a queue.
+package service
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"ams/internal/oracle"
+	"ams/internal/sim"
+	"ams/internal/tensor"
+)
+
+// Config parameterizes one service run.
+type Config struct {
+	Workers       int     // parallel executors (GPUs)
+	ArrivalRateHz float64 // mean arrivals per second (Poisson process)
+	DeadlineSec   float64 // per-item scheduling budget
+	Items         int     // stream length; images cycle through the store
+	Seed          uint64
+}
+
+// Stats summarizes a run.
+type Stats struct {
+	Items           int
+	AvgQueueWaitSec float64 // arrival -> execution start
+	AvgLatencySec   float64 // arrival -> completion
+	P95LatencySec   float64
+	AvgRecall       float64
+	ThroughputHz    float64 // completions per simulated second
+	Utilization     float64 // busy worker-time / (workers * horizon)
+	HorizonSec      float64 // completion time of the last item
+}
+
+// PolicyFactory builds one deadline policy per worker. Policies are not
+// shared across workers so stateful implementations stay correct.
+type PolicyFactory func(worker int) sim.DeadlinePolicy
+
+// Run simulates the service over the store's images.
+func Run(st *oracle.Store, factory PolicyFactory, cfg Config) Stats {
+	if cfg.Workers <= 0 {
+		panic("service: need at least one worker")
+	}
+	if cfg.ArrivalRateHz <= 0 || cfg.DeadlineSec <= 0 || cfg.Items <= 0 {
+		panic(fmt.Sprintf("service: invalid config %+v", cfg))
+	}
+	rng := tensor.NewRNG(cfg.Seed ^ 0x2545f4914f6cdd1d)
+
+	// Precompute arrivals (seconds).
+	arrivals := make([]float64, cfg.Items)
+	t := 0.0
+	for i := range arrivals {
+		t += expDraw(rng, cfg.ArrivalRateHz)
+		arrivals[i] = t
+	}
+
+	policies := make([]sim.DeadlinePolicy, cfg.Workers)
+	for w := range policies {
+		policies[w] = factory(w)
+	}
+	workerFree := make([]float64, cfg.Workers)
+
+	var (
+		stats     Stats
+		latencies []float64
+		busy      float64
+	)
+	for i := 0; i < cfg.Items; i++ {
+		// Earliest available worker takes the job.
+		w := 0
+		for j := 1; j < cfg.Workers; j++ {
+			if workerFree[j] < workerFree[w] {
+				w = j
+			}
+		}
+		start := math.Max(arrivals[i], workerFree[w])
+		img := i % st.NumScenes()
+		res := sim.RunDeadline(st, img, policies[w], cfg.DeadlineSec*1000)
+		dur := res.TimeMS / 1000
+		finish := start + dur
+		workerFree[w] = finish
+		busy += dur
+
+		stats.AvgQueueWaitSec += start - arrivals[i]
+		lat := finish - arrivals[i]
+		stats.AvgLatencySec += lat
+		latencies = append(latencies, lat)
+		stats.AvgRecall += res.Recall
+		if finish > stats.HorizonSec {
+			stats.HorizonSec = finish
+		}
+	}
+	n := float64(cfg.Items)
+	stats.Items = cfg.Items
+	stats.AvgQueueWaitSec /= n
+	stats.AvgLatencySec /= n
+	stats.AvgRecall /= n
+	sort.Float64s(latencies)
+	stats.P95LatencySec = latencies[int(0.95*float64(len(latencies)-1))]
+	if stats.HorizonSec > 0 {
+		stats.ThroughputHz = n / stats.HorizonSec
+		stats.Utilization = busy / (float64(cfg.Workers) * stats.HorizonSec)
+	}
+	return stats
+}
+
+// expDraw samples an exponential interarrival time with the given rate.
+func expDraw(rng *tensor.RNG, rate float64) float64 {
+	u := rng.Float64()
+	for u == 0 {
+		u = rng.Float64()
+	}
+	return -math.Log(u) / rate
+}

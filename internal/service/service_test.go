@@ -1,0 +1,126 @@
+package service
+
+import (
+	"testing"
+
+	"ams/internal/labels"
+	"ams/internal/oracle"
+	"ams/internal/sched"
+	"ams/internal/sim"
+	"ams/internal/synth"
+	"ams/internal/tensor"
+	"ams/internal/zoo"
+)
+
+var (
+	vocab = labels.NewVocabulary()
+	z     = zoo.NewZoo(vocab)
+	ds    = synth.NewDataset(vocab, synth.MSCOCO(), 60, 131)
+	store = oracle.Build(z, ds.Scenes)
+)
+
+func randomFactory(seed uint64) PolicyFactory {
+	return func(worker int) sim.DeadlinePolicy {
+		return sched.NewRandomDeadline(z, tensor.NewRNG(seed+uint64(worker)))
+	}
+}
+
+func TestRunBasicInvariants(t *testing.T) {
+	cfg := Config{Workers: 2, ArrivalRateHz: 2, DeadlineSec: 1, Items: 100, Seed: 1}
+	s := Run(store, randomFactory(1), cfg)
+	if s.Items != 100 {
+		t.Fatalf("items %d", s.Items)
+	}
+	if s.AvgQueueWaitSec < 0 || s.AvgLatencySec < s.AvgQueueWaitSec {
+		t.Fatalf("latency accounting broken: wait %v latency %v",
+			s.AvgQueueWaitSec, s.AvgLatencySec)
+	}
+	if s.P95LatencySec < s.AvgLatencySec*0.5 {
+		t.Fatalf("p95 (%v) below half the mean (%v)?", s.P95LatencySec, s.AvgLatencySec)
+	}
+	if s.Utilization <= 0 || s.Utilization > 1+1e-9 {
+		t.Fatalf("utilization %v out of range", s.Utilization)
+	}
+	if s.AvgRecall <= 0 || s.AvgRecall > 1 {
+		t.Fatalf("recall %v out of range", s.AvgRecall)
+	}
+	if s.ThroughputHz <= 0 {
+		t.Fatalf("throughput %v", s.ThroughputHz)
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	cfg := Config{Workers: 2, ArrivalRateHz: 3, DeadlineSec: 0.8, Items: 60, Seed: 7}
+	a := Run(store, randomFactory(7), cfg)
+	b := Run(store, randomFactory(7), cfg)
+	if a != b {
+		t.Fatalf("same-seed runs differ:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestMoreWorkersCutLatencyUnderLoad(t *testing.T) {
+	// At an offered load beyond one worker's capacity, adding workers must
+	// reduce queueing.
+	base := Config{ArrivalRateHz: 3, DeadlineSec: 1, Items: 200, Seed: 3}
+	one := base
+	one.Workers = 1
+	four := base
+	four.Workers = 4
+	s1 := Run(store, randomFactory(3), one)
+	s4 := Run(store, randomFactory(3), four)
+	if s4.AvgLatencySec >= s1.AvgLatencySec {
+		t.Fatalf("4 workers (%v) not faster than 1 (%v)", s4.AvgLatencySec, s1.AvgLatencySec)
+	}
+	if s4.AvgQueueWaitSec >= s1.AvgQueueWaitSec {
+		t.Fatalf("4 workers wait (%v) not below 1 worker (%v)",
+			s4.AvgQueueWaitSec, s1.AvgQueueWaitSec)
+	}
+}
+
+func TestHigherLoadRaisesWait(t *testing.T) {
+	mk := func(rate float64) Stats {
+		return Run(store, randomFactory(5), Config{
+			Workers: 2, ArrivalRateHz: rate, DeadlineSec: 1, Items: 200, Seed: 5,
+		})
+	}
+	light, heavy := mk(0.5), mk(6)
+	if heavy.AvgQueueWaitSec <= light.AvgQueueWaitSec {
+		t.Fatalf("heavy load wait (%v) not above light (%v)",
+			heavy.AvgQueueWaitSec, light.AvgQueueWaitSec)
+	}
+}
+
+func TestTighterDeadlineRaisesThroughputLowersRecall(t *testing.T) {
+	mk := func(deadline float64) Stats {
+		return Run(store, randomFactory(9), Config{
+			Workers: 1, ArrivalRateHz: 10, DeadlineSec: deadline, Items: 150, Seed: 9,
+		})
+	}
+	tight, loose := mk(0.3), mk(2.0)
+	if tight.ThroughputHz <= loose.ThroughputHz {
+		t.Fatalf("tight deadline throughput (%v) not above loose (%v)",
+			tight.ThroughputHz, loose.ThroughputHz)
+	}
+	if tight.AvgRecall >= loose.AvgRecall {
+		t.Fatalf("tight deadline recall (%v) not below loose (%v)",
+			tight.AvgRecall, loose.AvgRecall)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	for _, cfg := range []Config{
+		{Workers: 0, ArrivalRateHz: 1, DeadlineSec: 1, Items: 10},
+		{Workers: 1, ArrivalRateHz: 0, DeadlineSec: 1, Items: 10},
+		{Workers: 1, ArrivalRateHz: 1, DeadlineSec: 0, Items: 10},
+		{Workers: 1, ArrivalRateHz: 1, DeadlineSec: 1, Items: 0},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("config %+v accepted", cfg)
+				}
+			}()
+			Run(store, randomFactory(1), cfg)
+		}()
+	}
+}

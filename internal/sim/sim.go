@@ -1,0 +1,195 @@
+// Package sim provides the execution simulators of the AMS reproduction:
+// a serial recall-threshold loop (the §VI-B evaluation that runs models
+// until a target fraction of the valuable value is recalled), a serial
+// deadline loop (§VI-F), and a discrete-event parallel executor for the
+// deadline+memory setting (§VI-G) in which multiple models share a GPU
+// memory budget and release their memory on completion.
+//
+// The package defines the policy interfaces it consumes; implementations
+// live in internal/sched.
+package sim
+
+import (
+	"fmt"
+
+	"ams/internal/oracle"
+	"ams/internal/zoo"
+)
+
+// OrderPolicy chooses the next model in the unconstrained serial setting.
+type OrderPolicy interface {
+	Name() string
+	// Reset is called once before each image.
+	Reset(scene int)
+	// Next returns the model to execute next, or -1 to stop early.
+	Next(t *oracle.Tracker) int
+	// Observe feeds back the executed model's full stored output.
+	Observe(m int, out zoo.Output)
+}
+
+// DeadlinePolicy chooses the next model under a per-image time budget.
+type DeadlinePolicy interface {
+	Name() string
+	Reset(scene int)
+	// Next returns the next model given the remaining budget in
+	// milliseconds, or -1 when no feasible/useful model remains.
+	Next(t *oracle.Tracker, remainingMS float64) int
+	Observe(m int, out zoo.Output)
+}
+
+// BatchSelector picks sets of models to launch in the parallel
+// deadline+memory setting.
+type BatchSelector interface {
+	Name() string
+	Reset(scene int)
+	// SelectStart returns model indices to launch now. Candidates must be
+	// unexecuted, not running, fit in availMemMB, and finish by deadlineMS.
+	// The implementation may return nil to launch nothing this round.
+	SelectStart(t *oracle.Tracker, running []int, availMemMB, nowMS, deadlineMS float64) []int
+}
+
+// SerialResult summarizes one serial episode.
+type SerialResult struct {
+	Executed []int   // models in execution order
+	TimeMS   float64 // summed model time
+	Recall   float64 // final recall of valuable value
+}
+
+// RunToRecall executes models per the policy until the recall of valuable
+// value reaches threshold (ground-truth stop condition, as in the paper's
+// §VI-B), the policy stops, or every model has run.
+func RunToRecall(st *oracle.Store, scene int, p OrderPolicy, threshold float64) SerialResult {
+	if threshold < 0 || threshold > 1 {
+		panic(fmt.Sprintf("sim: recall threshold %v out of [0,1]", threshold))
+	}
+	p.Reset(scene)
+	t := oracle.NewTracker(st, scene)
+	var res SerialResult
+	for t.Recall() < threshold-1e-12 && t.ExecutedCount() < st.NumModels() {
+		m := p.Next(t)
+		if m < 0 {
+			break
+		}
+		t.Execute(m)
+		p.Observe(m, st.Output(scene, m))
+		res.Executed = append(res.Executed, m)
+		res.TimeMS += st.Zoo.Models[m].TimeMS
+	}
+	res.Recall = t.Recall()
+	return res
+}
+
+// RunDeadline executes models serially under a per-image deadline: a model
+// may start only if it finishes within the budget (Algorithm 1 line 3).
+func RunDeadline(st *oracle.Store, scene int, p DeadlinePolicy, deadlineMS float64) SerialResult {
+	p.Reset(scene)
+	t := oracle.NewTracker(st, scene)
+	var res SerialResult
+	remaining := deadlineMS
+	for t.ExecutedCount() < st.NumModels() {
+		m := p.Next(t, remaining)
+		if m < 0 {
+			break
+		}
+		mt := st.Zoo.Models[m].TimeMS
+		if mt > remaining+1e-9 {
+			panic(fmt.Sprintf("sim: policy %s exceeded the deadline (model %d needs %v, %v left)",
+				p.Name(), m, mt, remaining))
+		}
+		t.Execute(m)
+		p.Observe(m, st.Output(scene, m))
+		res.Executed = append(res.Executed, m)
+		res.TimeMS += mt
+		remaining -= mt
+	}
+	res.Recall = t.Recall()
+	return res
+}
+
+// ParallelResult summarizes one deadline+memory episode.
+type ParallelResult struct {
+	Executed   []int   // models in completion order
+	MakespanMS float64 // wall-clock time of the schedule
+	PeakMemMB  float64 // maximum simultaneous memory use observed
+	Recall     float64
+}
+
+// running is one in-flight model execution.
+type running struct {
+	model    int
+	finishMS float64
+}
+
+// RunParallel simulates multi-processor execution under a wall-clock
+// deadline and a shared GPU memory budget. Models launch according to the
+// selector, occupy their peak memory while running, and release it on
+// completion; outputs become visible (updating the labeling state) when a
+// model finishes, which is when new Q-value predictions may change.
+func RunParallel(st *oracle.Store, scene int, sel BatchSelector, deadlineMS, memMB float64) ParallelResult {
+	if deadlineMS <= 0 || memMB <= 0 {
+		panic("sim: non-positive parallel budgets")
+	}
+	sel.Reset(scene)
+	t := oracle.NewTracker(st, scene)
+	var (
+		res     ParallelResult
+		inFly   []running
+		now     float64
+		usedMem float64
+	)
+	runningIDs := func() []int {
+		ids := make([]int, len(inFly))
+		for i, r := range inFly {
+			ids[i] = r.model
+		}
+		return ids
+	}
+	isRunning := func(m int) bool {
+		for _, r := range inFly {
+			if r.model == m {
+				return true
+			}
+		}
+		return false
+	}
+	for {
+		// Launch phase.
+		starts := sel.SelectStart(t, runningIDs(), memMB-usedMem, now, deadlineMS)
+		for _, m := range starts {
+			mod := st.Zoo.Models[m]
+			if t.Executed(m) || isRunning(m) {
+				panic(fmt.Sprintf("sim: selector %s launched model %d twice", sel.Name(), m))
+			}
+			if usedMem+mod.MemMB > memMB+1e-9 {
+				panic(fmt.Sprintf("sim: selector %s exceeded memory budget", sel.Name()))
+			}
+			if now+mod.TimeMS > deadlineMS+1e-9 {
+				panic(fmt.Sprintf("sim: selector %s launched past the deadline", sel.Name()))
+			}
+			usedMem += mod.MemMB
+			inFly = append(inFly, running{model: m, finishMS: now + mod.TimeMS})
+		}
+		if usedMem > res.PeakMemMB {
+			res.PeakMemMB = usedMem
+		}
+		if len(inFly) == 0 {
+			break // nothing running and nothing launched: schedule is done
+		}
+		// Advance to the earliest completion (Algorithm 2 line 14).
+		ei := 0
+		for i, r := range inFly {
+			if r.finishMS < inFly[ei].finishMS {
+				ei = i
+			}
+		}
+		done := inFly[ei]
+		inFly = append(inFly[:ei], inFly[ei+1:]...)
+		now = done.finishMS
+		usedMem -= st.Zoo.Models[done.model].MemMB
+		t.Execute(done.model) // output revealed at completion
+		res.Executed = append(res.Executed, done.model)
+	}
+	res.MakespanMS = now
+	res.Recall = t.Recall()
+	return res
+}

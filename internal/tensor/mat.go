@@ -1,0 +1,104 @@
+package tensor
+
+import "fmt"
+
+// Mat is a dense row-major matrix: element (i,j) lives at Data[i*Cols+j].
+type Mat struct {
+	Rows, Cols int
+	Data       Vec
+}
+
+// NewMat returns a zeroed Rows x Cols matrix.
+func NewMat(rows, cols int) *Mat {
+	if rows < 0 || cols < 0 {
+		panic("tensor: negative matrix dimensions")
+	}
+	return &Mat{Rows: rows, Cols: cols, Data: NewVec(rows * cols)}
+}
+
+// Clone returns a deep copy.
+func (m *Mat) Clone() *Mat {
+	return &Mat{Rows: m.Rows, Cols: m.Cols, Data: m.Data.Clone()}
+}
+
+// At returns element (i,j).
+func (m *Mat) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set stores x at (i,j).
+func (m *Mat) Set(i, j int, x float64) { m.Data[i*m.Cols+j] = x }
+
+// Row returns row i as a slice aliasing the matrix storage.
+func (m *Mat) Row(i int) Vec { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// Zero clears all elements.
+func (m *Mat) Zero() { m.Data.Zero() }
+
+// CopyFrom copies the contents of src; dimensions must match.
+func (m *Mat) CopyFrom(src *Mat) {
+	if m.Rows != src.Rows || m.Cols != src.Cols {
+		panic(fmt.Sprintf("tensor: CopyFrom shape mismatch (%dx%d vs %dx%d)",
+			m.Rows, m.Cols, src.Rows, src.Cols))
+	}
+	copy(m.Data, src.Data)
+}
+
+// MulVecInto computes out = m * x (out length Rows, x length Cols).
+func (m *Mat) MulVecInto(out, x Vec) {
+	assertLen(len(x), m.Cols)
+	assertLen(len(out), m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		out[i] = m.Row(i).Dot(x)
+	}
+}
+
+// MulVecTransInto computes out = m^T * x (out length Cols, x length Rows).
+func (m *Mat) MulVecTransInto(out, x Vec) {
+	assertLen(len(x), m.Rows)
+	assertLen(len(out), m.Cols)
+	out.Zero()
+	for i := 0; i < m.Rows; i++ {
+		xi := x[i]
+		if xi == 0 {
+			continue
+		}
+		row := m.Row(i)
+		for j, w := range row {
+			out[j] += xi * w
+		}
+	}
+}
+
+// AddOuter accumulates m += a * x y^T where x has length Rows and y length
+// Cols. It is the rank-1 update used by backprop weight gradients.
+func (m *Mat) AddOuter(a float64, x, y Vec) {
+	assertLen(len(x), m.Rows)
+	assertLen(len(y), m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		s := a * x[i]
+		if s == 0 {
+			continue
+		}
+		row := m.Row(i)
+		for j, yj := range y {
+			row[j] += s * yj
+		}
+	}
+}
+
+// SumColsSparseInto computes out = sum over j in active of column j of m.
+// This is the sparse-input fast path: when the network input is a binary
+// vector with few ones, the first layer's product m^T? No — here m is laid
+// out (out x in), so column j holds the weights feeding output from input j.
+// out must have length Rows.
+func (m *Mat) SumColsSparseInto(out Vec, active []int) {
+	assertLen(len(out), m.Rows)
+	out.Zero()
+	for _, j := range active {
+		if j < 0 || j >= m.Cols {
+			panic(fmt.Sprintf("tensor: sparse index %d out of range [0,%d)", j, m.Cols))
+		}
+		for i := 0; i < m.Rows; i++ {
+			out[i] += m.Data[i*m.Cols+j]
+		}
+	}
+}

@@ -1,0 +1,216 @@
+package zoo
+
+import (
+	"testing"
+
+	"ams/internal/labels"
+	"ams/internal/synth"
+)
+
+var (
+	vocab = labels.NewVocabulary()
+	z     = NewZoo(vocab)
+)
+
+func TestZooShape(t *testing.T) {
+	if len(z.Models) != NumModels {
+		t.Fatalf("zoo has %d models, want %d", len(z.Models), NumModels)
+	}
+	perTask := map[labels.Task]int{}
+	for _, m := range z.Models {
+		perTask[m.Task]++
+	}
+	for _, task := range labels.Tasks() {
+		if perTask[task] != 3 {
+			t.Fatalf("%v has %d models, want 3", task, perTask[task])
+		}
+	}
+}
+
+func TestZooTimeCalibration(t *testing.T) {
+	total := z.TotalTimeMS()
+	// Paper: executing all 30 models averages 5.16 s per image.
+	if total < 4800 || total > 5500 {
+		t.Fatalf("total zoo time %v ms, want ≈5160", total)
+	}
+	for _, m := range z.Models {
+		if m.TimeMS < 50 || m.TimeMS > 400 {
+			t.Fatalf("%s time %v outside the paper's 50-400 ms range", m.Name, m.TimeMS)
+		}
+		if m.MemMB < 500 || m.MemMB > 8000 {
+			t.Fatalf("%s memory %v outside the paper's 500-8000 MB range", m.Name, m.MemMB)
+		}
+	}
+}
+
+func TestSupportedLabelsMatchTask(t *testing.T) {
+	for _, m := range z.Models {
+		if len(m.Supported) == 0 {
+			t.Fatalf("%s supports no labels", m.Name)
+		}
+		for _, id := range m.Supported {
+			if vocab.Label(id).Task != m.Task {
+				t.Fatalf("%s supports label %q from task %v",
+					m.Name, vocab.Label(id).Name, vocab.Label(id).Task)
+			}
+		}
+	}
+}
+
+func TestSubsetModels(t *testing.T) {
+	animal, ok := z.ByName("objdet-animal")
+	if !ok {
+		t.Fatal("objdet-animal missing")
+	}
+	for _, id := range animal.Supported {
+		if !vocab.Label(id).Animal {
+			t.Fatalf("animal detector supports non-animal %q", vocab.Label(id).Name)
+		}
+	}
+	general, _ := z.ByName("objdet-accurate")
+	if len(animal.Supported) >= len(general.Supported) {
+		t.Fatal("animal detector should support fewer labels than the general one")
+	}
+	sport, ok := z.ByName("action-sport")
+	if !ok {
+		t.Fatal("action-sport missing")
+	}
+	for _, id := range sport.Supported {
+		if !vocab.Label(id).Sport {
+			t.Fatalf("sport classifier supports non-sport %q", vocab.Label(id).Name)
+		}
+	}
+}
+
+func TestInferDeterministic(t *testing.T) {
+	d := synth.NewDataset(vocab, synth.MSCOCO(), 20, 5)
+	for _, m := range z.Models {
+		for i := range d.Scenes {
+			a := m.Infer(&d.Scenes[i])
+			b := m.Infer(&d.Scenes[i])
+			if len(a.Labels) != len(b.Labels) {
+				t.Fatalf("%s non-deterministic on scene %d", m.Name, i)
+			}
+			for j := range a.Labels {
+				if a.Labels[j] != b.Labels[j] {
+					t.Fatalf("%s output differs at %d on scene %d", m.Name, j, i)
+				}
+			}
+		}
+	}
+}
+
+func TestInferOnlySupportedLabels(t *testing.T) {
+	d := synth.NewDataset(vocab, synth.MirFlickr(), 100, 9)
+	for _, m := range z.Models {
+		sup := make(map[int]bool, len(m.Supported))
+		for _, id := range m.Supported {
+			sup[id] = true
+		}
+		for i := range d.Scenes {
+			out := m.Infer(&d.Scenes[i])
+			seen := map[int]bool{}
+			for _, lc := range out.Labels {
+				if !sup[lc.ID] {
+					t.Fatalf("%s emitted unsupported label %q", m.Name, vocab.Label(lc.ID).Name)
+				}
+				if lc.Conf <= 0 || lc.Conf >= 1 {
+					t.Fatalf("%s confidence %v out of (0,1)", m.Name, lc.Conf)
+				}
+				if seen[lc.ID] {
+					t.Fatalf("%s emitted duplicate label %d", m.Name, lc.ID)
+				}
+				seen[lc.ID] = true
+			}
+		}
+	}
+}
+
+func TestSemanticsFaceModels(t *testing.T) {
+	d := synth.NewDataset(vocab, synth.MSCOCO(), 400, 21)
+	lmk, _ := z.ByName("facelmk-2dfan")
+	emo, _ := z.ByName("emotion-deep")
+	for i := range d.Scenes {
+		s := &d.Scenes[i]
+		if !s.HasFace() {
+			if out := lmk.Infer(s); len(out.Labels) > 0 {
+				t.Fatalf("face landmarks emitted without a face in scene %d", i)
+			}
+			// Emotion may only produce low-confidence noise without a face.
+			for _, lc := range emo.Infer(s).Labels {
+				if lc.Conf >= ValuableThreshold {
+					t.Fatalf("high-confidence emotion without a face in scene %d", i)
+				}
+			}
+		}
+	}
+}
+
+func TestSemanticsDogModels(t *testing.T) {
+	d := synth.NewDataset(vocab, synth.VOC2012(), 400, 27)
+	dog, _ := z.ByName("dogcls-finegrained")
+	hits, correct := 0, 0
+	for i := range d.Scenes {
+		s := &d.Scenes[i]
+		out := dog.Infer(s)
+		if !s.HasDog() {
+			for _, lc := range out.Labels {
+				if lc.Conf >= ValuableThreshold {
+					t.Fatalf("high-confidence breed without a dog in scene %d", i)
+				}
+			}
+			continue
+		}
+		hits++
+		for _, lc := range out.Labels {
+			if lc.ID == s.Dog && lc.Conf >= ValuableThreshold {
+				correct++
+			}
+		}
+	}
+	if hits == 0 {
+		t.Fatal("no dog scenes generated")
+	}
+	if float64(correct)/float64(hits) < 0.7 {
+		t.Fatalf("fine-grained dog model accuracy %d/%d too low", correct, hits)
+	}
+}
+
+func TestAccurateBeatsFastRecall(t *testing.T) {
+	d := synth.NewDataset(vocab, synth.MSCOCO(), 600, 33)
+	fast, _ := z.ByName("objdet-fast")
+	acc, _ := z.ByName("objdet-accurate")
+	valuable := func(m *Model) int {
+		n := 0
+		for i := range d.Scenes {
+			for _, lc := range m.Infer(&d.Scenes[i]).Labels {
+				if lc.Conf >= ValuableThreshold {
+					n++
+				}
+			}
+		}
+		return n
+	}
+	if valuable(acc) <= valuable(fast) {
+		t.Fatalf("accurate detector (%d) should emit more valuable labels than fast (%d)",
+			valuable(acc), valuable(fast))
+	}
+}
+
+func TestOutputValue(t *testing.T) {
+	o := Output{Labels: []LabelConf{{ID: 1, Conf: 0.9}, {ID: 2, Conf: 0.3}, {ID: 3, Conf: 0.6}}}
+	got := o.Value(0.5)
+	if got < 1.49 || got > 1.51 {
+		t.Fatalf("Value = %v, want 1.5", got)
+	}
+}
+
+func TestModelsForTaskAndByName(t *testing.T) {
+	ms := z.ModelsForTask(labels.PoseEstimation)
+	if len(ms) != 3 {
+		t.Fatalf("pose task has %d models", len(ms))
+	}
+	if _, ok := z.ByName("no-such-model"); ok {
+		t.Fatal("ByName returned ok for a missing model")
+	}
+}

@@ -1,0 +1,185 @@
+package ams
+
+import (
+	"fmt"
+
+	"ams/internal/core"
+	"ams/internal/sched"
+	"ams/internal/sim"
+	"ams/internal/tensor"
+)
+
+// Agent is a trained model-value predictor ready to drive scheduling.
+type Agent struct {
+	inner *core.Agent
+}
+
+// Algorithm returns the DRL variant the agent was trained with.
+func (a *Agent) Algorithm() Algorithm { return a.inner.Algo }
+
+// TrainedOn returns the dataset profile name used for training.
+func (a *Agent) TrainedOn() string { return a.inner.Dataset }
+
+// Save writes the agent to a file.
+func (a *Agent) Save(path string) error { return a.inner.SaveFile(path) }
+
+// LoadAgent reads an agent previously written with Save.
+func LoadAgent(path string) (*Agent, error) {
+	inner, err := core.LoadAgentFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return &Agent{inner: inner}, nil
+}
+
+// PredictValues returns the agent's current value estimate for every
+// model given the set of label IDs already emitted for the item.
+func (a *Agent) PredictValues(emittedLabelIDs []int) []float64 {
+	q := a.inner.Predict(emittedLabelIDs)
+	return append([]float64(nil), q[:a.inner.NumModels]...)
+}
+
+// Budget is a per-image resource constraint.
+type Budget struct {
+	// DeadlineSec bounds the schedule's execution time. Zero means no
+	// deadline (the scheduler stops when no model is predicted valuable).
+	DeadlineSec float64
+	// MemoryGB, when positive, enables the multi-processor setting of
+	// Algorithm 2: models run in parallel under this shared GPU budget.
+	MemoryGB float64
+}
+
+// OutputLabel is one emitted label.
+type OutputLabel struct {
+	Name       string
+	Task       string
+	Confidence float64
+	Valuable   bool // confidence at or above the valuable threshold
+}
+
+// Result reports one labeled image.
+type Result struct {
+	Image     int
+	Labels    []OutputLabel // all emitted labels, deduplicated
+	ModelsRun []string      // executed models in order
+	TimeSec   float64       // serial: summed model time; parallel: makespan
+	Recall    float64       // fraction of the image's valuable value recalled
+}
+
+// Label schedules model executions for one held-out image under the
+// budget, driven by the agent: Algorithm 1 for a pure deadline, Algorithm
+// 2 when a memory budget is present, and plain value-greedy scheduling
+// when unconstrained.
+func (s *System) Label(agent *Agent, image int, b Budget) (*Result, error) {
+	if agent == nil {
+		return nil, fmt.Errorf("ams: nil agent")
+	}
+	if image < 0 || image >= s.testStore.NumScenes() {
+		return nil, fmt.Errorf("ams: image %d out of range [0,%d)", image, s.testStore.NumScenes())
+	}
+	var res sim.SerialResult
+	switch {
+	case b.MemoryGB > 0:
+		if b.DeadlineSec <= 0 {
+			return nil, fmt.Errorf("ams: a memory budget requires a deadline")
+		}
+		pr := sim.RunParallel(s.testStore, image,
+			sched.NewMemoryPacker(agent.inner, s.Zoo), b.DeadlineSec*1000, b.MemoryGB*1024)
+		res = sim.SerialResult{Executed: pr.Executed, TimeMS: pr.MakespanMS, Recall: pr.Recall}
+	case b.DeadlineSec > 0:
+		res = sim.RunDeadline(s.testStore, image,
+			sched.NewCostQGreedy(agent.inner, s.Zoo), b.DeadlineSec*1000)
+	default:
+		// Unconstrained: Q-greedy until every valuable label is recalled.
+		res = sim.RunToRecall(s.testStore, image,
+			sched.NewQGreedyOrder(agent.inner, agent.inner.NumModels), 1.0)
+	}
+	return s.buildResult(image, res), nil
+}
+
+// LabelRandom labels an image with the random baseline under the same
+// budget semantics as Label — useful for the comparisons the paper plots.
+func (s *System) LabelRandom(image int, b Budget, seed uint64) (*Result, error) {
+	if image < 0 || image >= s.testStore.NumScenes() {
+		return nil, fmt.Errorf("ams: image %d out of range [0,%d)", image, s.testStore.NumScenes())
+	}
+	rng := tensor.NewRNG(seed ^ 0x9e3779b97f4a7c15)
+	var res sim.SerialResult
+	switch {
+	case b.MemoryGB > 0:
+		if b.DeadlineSec <= 0 {
+			return nil, fmt.Errorf("ams: a memory budget requires a deadline")
+		}
+		pr := sim.RunParallel(s.testStore, image,
+			sched.NewRandomPacker(s.Zoo, rng), b.DeadlineSec*1000, b.MemoryGB*1024)
+		res = sim.SerialResult{Executed: pr.Executed, TimeMS: pr.MakespanMS, Recall: pr.Recall}
+	case b.DeadlineSec > 0:
+		res = sim.RunDeadline(s.testStore, image,
+			sched.NewRandomDeadline(s.Zoo, rng), b.DeadlineSec*1000)
+	default:
+		res = sim.RunToRecall(s.testStore, image, sched.NewRandomOrder(rng), 1.0)
+	}
+	return s.buildResult(image, res), nil
+}
+
+// OptimalStarRecall returns the relaxed optimal* reference recall for an
+// image under the budget (§V-C) — the yardstick the paper compares its
+// heuristics against.
+func (s *System) OptimalStarRecall(image int, b Budget) (float64, error) {
+	if image < 0 || image >= s.testStore.NumScenes() {
+		return 0, fmt.Errorf("ams: image %d out of range [0,%d)", image, s.testStore.NumScenes())
+	}
+	if b.MemoryGB > 0 {
+		if b.DeadlineSec <= 0 {
+			return 0, fmt.Errorf("ams: a memory budget requires a deadline")
+		}
+		return sched.OptimalStarMemory(s.testStore, image, b.DeadlineSec*1000, b.MemoryGB*1024), nil
+	}
+	if b.DeadlineSec <= 0 {
+		return 1, nil
+	}
+	return sched.OptimalStarDeadline(s.testStore, image, b.DeadlineSec*1000), nil
+}
+
+// buildResult converts an execution trace into the public Result.
+func (s *System) buildResult(image int, res sim.SerialResult) *Result {
+	out := &Result{
+		Image:   image,
+		TimeSec: res.TimeMS / 1000,
+		Recall:  res.Recall,
+	}
+	seen := map[int]float64{}
+	var order []int
+	for _, m := range res.Executed {
+		out.ModelsRun = append(out.ModelsRun, s.Zoo.Models[m].Name)
+		for _, lc := range s.testStore.Output(image, m).Labels {
+			if prev, ok := seen[lc.ID]; !ok {
+				seen[lc.ID] = lc.Conf
+				order = append(order, lc.ID)
+			} else if lc.Conf > prev {
+				seen[lc.ID] = lc.Conf
+			}
+		}
+	}
+	for _, id := range order {
+		l := s.Vocabulary.Label(id)
+		out.Labels = append(out.Labels, OutputLabel{
+			Name:       l.Name,
+			Task:       l.Task.String(),
+			Confidence: seen[id],
+			Valuable:   seen[id] >= ValuableThreshold,
+		})
+	}
+	return out
+}
+
+// ValuableLabels filters a result's labels to the valuable ones.
+func (r *Result) ValuableLabels() []OutputLabel {
+	var out []OutputLabel
+	for _, l := range r.Labels {
+		if l.Valuable {
+			out = append(out, l)
+		}
+	}
+	return out
+}

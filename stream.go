@@ -1,0 +1,80 @@
+package ams
+
+import (
+	"fmt"
+
+	"ams/internal/oracle"
+	"ams/internal/sched"
+	"ams/internal/synth"
+	"ams/internal/zoo"
+)
+
+// ValuableThreshold is the confidence at or above which a label counts as
+// valuable output.
+const ValuableThreshold = zoo.ValuableThreshold
+
+// StreamResult summarizes labeling a correlated (video-like) stream with
+// the explore–exploit policy of the paper's introduction.
+type StreamResult struct {
+	Images        int
+	AvgTimeSec    float64 // per-image average
+	AvgRecall     float64
+	NoPolicySec   float64 // per-image cost of running everything
+	TimeSavedFrac float64 // 1 - AvgTime/NoPolicy
+}
+
+// LabelChunkedStream generates a chunked variant of the system's dataset
+// (each chunk of chunkLen images shares latent content, like frames of a
+// video segment) and labels it with the explore–exploit policy: the first
+// exploreN images of each chunk run every model; the discovered valuable
+// subset serves the rest of the chunk.
+func (s *System) LabelChunkedStream(numImages, chunkLen, exploreN int) (*StreamResult, error) {
+	if numImages < chunkLen || chunkLen <= 0 {
+		return nil, fmt.Errorf("ams: need numImages >= chunkLen > 0, got %d/%d", numImages, chunkLen)
+	}
+	if exploreN <= 0 || exploreN > chunkLen {
+		return nil, fmt.Errorf("ams: exploreN must be in [1,chunkLen], got %d", exploreN)
+	}
+	base := s.Dataset
+	if numImages != base.Len() {
+		// Regenerate at the requested size with the same profile.
+		var err error
+		base, err = s.regenerate(numImages)
+		if err != nil {
+			return nil, err
+		}
+	}
+	chunked := base.Chunked(s.Vocabulary, chunkLen, s.cfg.Seed^0xc2b2ae3d27d4eb4f)
+	st := oracle.Build(s.Zoo, chunked.Scenes)
+	results := sched.RunExploreExploit(st, sched.ExploreExploitConfig{
+		ChunkLen: chunkLen, ExploreN: exploreN,
+	})
+	var time, recall float64
+	for _, r := range results {
+		time += r.TimeMS / 1000
+		recall += r.Recall
+	}
+	n := float64(len(results))
+	noPol := s.Zoo.TotalTimeMS() / 1000
+	avgTime := time / n
+	return &StreamResult{
+		Images:        len(results),
+		AvgTimeSec:    avgTime,
+		AvgRecall:     recall / n,
+		NoPolicySec:   noPol,
+		TimeSavedFrac: 1 - avgTime/noPol,
+	}, nil
+}
+
+func (s *System) regenerate(numImages int) (*synth.Dataset, error) {
+	sub, err := New(Config{
+		Dataset:   s.cfg.Dataset,
+		NumImages: numImages,
+		TrainFrac: s.cfg.TrainFrac,
+		Seed:      s.cfg.Seed + 1,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return sub.Dataset, nil
+}

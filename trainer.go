@@ -1,0 +1,84 @@
+package ams
+
+import (
+	"fmt"
+
+	"ams/internal/core"
+	"ams/internal/oracle"
+	"ams/internal/synth"
+)
+
+// Trainer supports incremental (continual) agent training: train some
+// epochs, snapshot an agent, keep training — possibly against data from a
+// different distribution (online adaptation to drifting streams).
+type Trainer struct {
+	sys   *System
+	inner *core.Trainer
+}
+
+// NewTrainer creates an incremental trainer with the given options.
+func (s *System) NewTrainer(opts TrainOptions) (*Trainer, error) {
+	theta, err := s.thetaVector(opts.Priorities)
+	if err != nil {
+		return nil, err
+	}
+	inner := core.NewTrainer(len(s.Zoo.Models), core.TrainConfig{
+		Algo:     opts.Algorithm,
+		Epochs:   opts.Epochs,
+		Hidden:   opts.Hidden,
+		Theta:    theta,
+		Seed:     opts.Seed,
+		Dataset:  s.cfg.Dataset,
+		Progress: opts.Progress,
+	})
+	return &Trainer{sys: s, inner: inner}, nil
+}
+
+// TrainEpochs runs additional passes over the system's training split.
+func (t *Trainer) TrainEpochs(epochs int) {
+	t.inner.TrainEpochs(t.sys.trainStore, epochs)
+}
+
+// TrainEpochsOn runs additional passes over freshly generated scenes from
+// another dataset profile — continual adaptation to new content.
+func (t *Trainer) TrainEpochsOn(dataset string, numImages, epochs int, seed uint64) error {
+	profile, err := synth.ProfileByName(dataset)
+	if err != nil {
+		return fmt.Errorf("ams: %w", err)
+	}
+	if numImages < 1 {
+		return fmt.Errorf("ams: numImages must be positive")
+	}
+	ds := synth.NewDataset(t.sys.Vocabulary, profile, numImages, seed^0x6a09e667f3bcc909)
+	store := oracle.Build(t.sys.Zoo, ds.Scenes)
+	t.inner.TrainEpochs(store, epochs)
+	return nil
+}
+
+// Steps returns the number of environment steps taken so far.
+func (t *Trainer) Steps() int { return t.inner.GlobalStep() }
+
+// Snapshot returns an independent agent capturing the current policy.
+func (t *Trainer) Snapshot() *Agent { return &Agent{inner: t.inner.Agent()} }
+
+// thetaVector converts a Priorities map into the dense theta vector.
+func (s *System) thetaVector(priorities map[string]float64) ([]float64, error) {
+	if len(priorities) == 0 {
+		return nil, nil
+	}
+	theta := make([]float64, len(s.Zoo.Models))
+	for i := range theta {
+		theta[i] = 1
+	}
+	for name, th := range priorities {
+		m, ok := s.Zoo.ByName(name)
+		if !ok {
+			return nil, fmt.Errorf("ams: unknown model %q in Priorities", name)
+		}
+		if th <= 0 {
+			return nil, fmt.Errorf("ams: priority for %q must be positive, got %v", name, th)
+		}
+		theta[m.ID] = th
+	}
+	return theta, nil
+}

@@ -1,0 +1,79 @@
+package ams
+
+import "testing"
+
+func TestIncrementalTrainerMatchesOneShot(t *testing.T) {
+	opts := TrainOptions{Algorithm: DQN, Epochs: 4, Hidden: []int{16}, Seed: 5}
+	oneShot, err := testSys.TrainAgent(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := testSys.NewTrainer(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.TrainEpochs(2)
+	tr.TrainEpochs(2)
+	inc := tr.Snapshot()
+	state := []int{1, 500}
+	a, b := oneShot.PredictValues(state), inc.PredictValues(state)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("incremental trainer diverges from one-shot training")
+		}
+	}
+}
+
+func TestTrainerSnapshotIndependentAndSteps(t *testing.T) {
+	tr, err := testSys.NewTrainer(TrainOptions{Algorithm: DQN, Epochs: 2, Hidden: []int{16}, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.TrainEpochs(1)
+	steps := tr.Steps()
+	if steps <= 0 {
+		t.Fatalf("steps %d", steps)
+	}
+	snap := tr.Snapshot()
+	before := append([]float64(nil), snap.PredictValues([]int{3})...)
+	tr.TrainEpochs(1)
+	if tr.Steps() <= steps {
+		t.Fatal("steps did not advance")
+	}
+	after := snap.PredictValues([]int{3})
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatal("snapshot changed after continued training")
+		}
+	}
+}
+
+func TestTrainerAdaptOnOtherDataset(t *testing.T) {
+	tr, err := testSys.NewTrainer(TrainOptions{Algorithm: DuelingDQN, Epochs: 2, Hidden: []int{16}, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.TrainEpochs(1)
+	if err := tr.TrainEpochsOn(DatasetStanford, 40, 1, 17); err != nil {
+		t.Fatalf("TrainEpochsOn: %v", err)
+	}
+	if err := tr.TrainEpochsOn("nope", 40, 1, 17); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+	if err := tr.TrainEpochsOn(DatasetStanford, 0, 1, 17); err == nil {
+		t.Fatal("zero images accepted")
+	}
+	agent := tr.Snapshot()
+	if _, err := testSys.Label(agent, 0, Budget{DeadlineSec: 1}); err != nil {
+		t.Fatalf("label with adapted agent: %v", err)
+	}
+}
+
+func TestNewTrainerValidation(t *testing.T) {
+	if _, err := testSys.NewTrainer(TrainOptions{
+		Algorithm:  DQN,
+		Priorities: map[string]float64{"missing": 1},
+	}); err == nil {
+		t.Fatal("bad priorities accepted")
+	}
+}
