@@ -5,7 +5,6 @@ import (
 	"runtime"
 	"sync"
 
-	"ams/internal/core"
 	"ams/internal/sched"
 	"ams/internal/sim"
 )
@@ -53,12 +52,7 @@ func (s *System) LabelBatch(agent *Agent, images []int, b Budget, workers int) (
 		go func() {
 			defer wg.Done()
 			// Per-worker private network clone.
-			private := &core.Agent{
-				Net:       agent.inner.Net.Clone(),
-				NumModels: agent.inner.NumModels,
-				Algo:      agent.inner.Algo,
-				Dataset:   agent.inner.Dataset,
-			}
+			private := agent.cloneInner()
 			for idx := range jobs {
 				img := images[idx]
 				var res sim.SerialResult

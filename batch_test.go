@@ -70,6 +70,40 @@ func TestLabelBatchValidation(t *testing.T) {
 	}
 }
 
+// TestLabelBatchManyWorkers drives the cloning rule hard: far more
+// workers than cores over every budget mode. Run under -race it is the
+// regression test for sharing a network between workers.
+func TestLabelBatchManyWorkers(t *testing.T) {
+	images := make([]int, 48)
+	for i := range images {
+		images[i] = i % testSys.NumTestImages()
+	}
+	for _, b := range []Budget{
+		{DeadlineSec: 0.5},
+		{DeadlineSec: 0.5, MemoryGB: 8},
+		{},
+	} {
+		res, stats, err := testSys.LabelBatch(testAgent, images, b, 16)
+		if err != nil {
+			t.Fatalf("budget %+v: %v", b, err)
+		}
+		if stats.Processed != len(images) {
+			t.Fatalf("budget %+v processed %d", b, stats.Processed)
+		}
+		// Concurrency must not change the per-image answer.
+		for i := range images[:4] {
+			seq, err := testSys.Label(testAgent, images[i], b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res[i].Recall != seq.Recall {
+				t.Fatalf("budget %+v image %d recall %v diverges from sequential %v",
+					b, images[i], res[i].Recall, seq.Recall)
+			}
+		}
+	}
+}
+
 func TestLabelBatchDefaultWorkers(t *testing.T) {
 	images := []int{0, 1, 2}
 	res, _, err := testSys.LabelBatch(testAgent, images, Budget{DeadlineSec: 0.5}, 0)

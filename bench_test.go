@@ -10,7 +10,9 @@ package ams
 // For paper-style output series, use `go run ./cmd/amsbench -exp all`.
 
 import (
+	"context"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"ams/internal/experiments"
@@ -282,6 +284,78 @@ func BenchmarkLabelMemory(b *testing.B) {
 		}
 	}
 }
+
+// --- Server hot path ------------------------------------------------------
+
+var (
+	serveBenchOnce  sync.Once
+	serveBenchSys   *System
+	serveBenchAgent *Agent
+)
+
+// serveBench builds the shared system and agent for the server
+// benchmarks once.
+func serveBench(b *testing.B) (*System, *Agent) {
+	b.Helper()
+	serveBenchOnce.Do(func() {
+		sys, err := New(Config{NumImages: 60, Seed: 1})
+		if err != nil {
+			panic(err)
+		}
+		agent, err := sys.TrainAgent(TrainOptions{
+			Algorithm: DuelingDQN, Epochs: 2, Hidden: []int{64},
+		})
+		if err != nil {
+			panic(err)
+		}
+		serveBenchSys, serveBenchAgent = sys, agent
+	})
+	return serveBenchSys, serveBenchAgent
+}
+
+// benchmarkServe measures submit→complete round trips against a running
+// server: concurrent client goroutines submit and wait, so the reported
+// per-op time is the end-to-end item latency under load at the given
+// worker count. TimeScale is tiny so dispatch, policy, and accountant
+// overhead dominate the (near-zero) model sleeps.
+func benchmarkServe(b *testing.B, workers int) {
+	sys, agent := serveBench(b)
+	srv, err := sys.NewServer(agent, ServeConfig{
+		Workers:     workers,
+		DeadlineSec: 0.5,
+		MemoryGB:    16,
+		QueueCap:    4 * workers,
+		TimeScale:   1e-6,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var next atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			img := int(next.Add(1)) % sys.NumTestImages()
+			tk, err := srv.SubmitWait(context.Background(), img)
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			res := tk.Wait()
+			if res.Recall < 0 {
+				b.Error("bad recall")
+				return
+			}
+		}
+	})
+	b.StopTimer()
+	if err := srv.Close(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkServe1Worker(b *testing.B)  { benchmarkServe(b, 1) }
+func BenchmarkServe4Workers(b *testing.B) { benchmarkServe(b, 4) }
+func BenchmarkServe8Workers(b *testing.B) { benchmarkServe(b, 8) }
 
 // BenchmarkTrainEpoch measures one DRL training epoch.
 func BenchmarkTrainEpoch(b *testing.B) {

@@ -1,0 +1,114 @@
+// Command amsserve runs the real concurrent labeling server against a
+// Poisson arrival trace and prints the same statistics shape as the
+// virtual-time service simulation, so the two can be compared side by
+// side (-compare prints both).
+//
+// The server executes items with a pool of worker goroutines, each
+// holding a private clone of the agent's network, and enforces a global
+// GPU-memory budget (-memory) shared by all workers via the Algorithm-2
+// accountant. Model executions sleep their nominal duration scaled by
+// -timescale; the default 0.05 replays the trace twenty times faster
+// than production pacing while keeping every scheduling decision
+// identical. Note that the scheduler's real CPU overhead (the agent's
+// Q-network forward passes — the paper's Table III selection overhead)
+// is NOT scaled, so very small timescales magnify it relative to model
+// time and inflate the reported latencies.
+//
+// Usage:
+//
+//	amsserve -workers 4 -rate 3 -items 200 -deadline 0.5
+//	amsserve -workers 4 -memory 8 -compare
+//	amsserve -agent agent.gob -timescale 1 -rate 1 -items 30
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"ams"
+)
+
+func main() {
+	var (
+		dataset   = flag.String("dataset", ams.DatasetMirFlickr, "dataset profile")
+		images    = flag.Int("images", 500, "images to generate")
+		seed      = flag.Uint64("seed", 1, "determinism seed")
+		agentPath = flag.String("agent", "", "trained agent file (trains a quick agent when empty)")
+		epochs    = flag.Int("epochs", 8, "epochs for the quick agent when -agent is empty")
+
+		workers   = flag.Int("workers", 4, "concurrent labeling workers")
+		deadline  = flag.Float64("deadline", 0.5, "per-item deadline in seconds")
+		memory    = flag.Float64("memory", 0, "global GPU memory budget in GB shared by all workers (0 = unlimited)")
+		queueCap  = flag.Int("queue", 0, "admission queue bound (0 = 2*workers)")
+		timescale = flag.Float64("timescale", 0.05, "real seconds per simulated second of model time")
+
+		rate    = flag.Int("rate", 4, "mean arrivals per simulated second (Poisson)")
+		items   = flag.Int("items", 200, "arrival trace length")
+		compare = flag.Bool("compare", false, "also run the virtual-time simulation of the same workload")
+	)
+	flag.Parse()
+
+	sys, err := ams.New(ams.Config{Dataset: *dataset, NumImages: *images, Seed: *seed})
+	if err != nil {
+		log.Fatalf("amsserve: %v", err)
+	}
+	var agent *ams.Agent
+	if *agentPath != "" {
+		agent, err = ams.LoadAgent(*agentPath)
+		if err != nil {
+			log.Fatalf("amsserve: %v", err)
+		}
+		fmt.Printf("loaded %s agent trained on %s\n", agent.Algorithm(), agent.TrainedOn())
+	} else {
+		fmt.Printf("training a quick DuelingDQN agent on %s (%d epochs)...\n", *dataset, *epochs)
+		agent, err = sys.TrainAgent(ams.TrainOptions{
+			Algorithm: ams.DuelingDQN, Epochs: *epochs, Hidden: []int{96}, Seed: *seed,
+		})
+		if err != nil {
+			log.Fatalf("amsserve: %v", err)
+		}
+	}
+
+	cfg := ams.ServeConfig{
+		Workers:     *workers,
+		DeadlineSec: *deadline,
+		MemoryGB:    *memory,
+		QueueCap:    *queueCap,
+		TimeScale:   *timescale,
+	}
+	trace := ams.ServeTrace{ArrivalRateHz: float64(*rate), Items: *items, Seed: *seed}
+
+	fmt.Printf("\nserving %d items at %d/s with %d workers (deadline %.2fs, mem %.1f GB, timescale %g)\n",
+		*items, *rate, *workers, *deadline, *memory, *timescale)
+	real, err := sys.Serve(agent, cfg, trace)
+	if err != nil {
+		log.Fatalf("amsserve: %v", err)
+	}
+	printStats("real server", real)
+	if real.PeakMemMB > 0 {
+		fmt.Printf("  %-18s %8.0f MB (budget %.0f MB, %d blocked reservations)\n",
+			"peak GPU memory", real.PeakMemMB, *memory*1024, real.MemWaits)
+	}
+
+	if *compare {
+		sim, err := sys.SimulateServe(agent, cfg, trace)
+		if err != nil {
+			log.Fatalf("amsserve: %v", err)
+		}
+		fmt.Println()
+		printStats("virtual-time sim", sim)
+	}
+}
+
+func printStats(name string, s ams.ServeStats) {
+	fmt.Printf("%s:\n", name)
+	fmt.Printf("  %-18s %8d\n", "items", s.Items)
+	fmt.Printf("  %-18s %8.3f s\n", "avg queue wait", s.AvgQueueWaitSec)
+	fmt.Printf("  %-18s %8.3f s\n", "avg latency", s.AvgLatencySec)
+	fmt.Printf("  %-18s %8.3f s\n", "p95 latency", s.P95LatencySec)
+	fmt.Printf("  %-18s %8.3f\n", "avg recall", s.AvgRecall)
+	fmt.Printf("  %-18s %8.2f /s\n", "throughput", s.ThroughputHz)
+	fmt.Printf("  %-18s %8.1f %%\n", "utilization", 100*s.Utilization)
+	fmt.Printf("  %-18s %8.2f s\n", "horizon", s.HorizonSec)
+}

@@ -1,0 +1,77 @@
+// Labelserver: run the real concurrent labeling server. A pool of
+// worker goroutines labels submitted images under a per-item deadline
+// while one shared Algorithm-2 memory accountant keeps the whole pool
+// inside a global GPU budget; clients feel backpressure through the
+// bounded admission queue.
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"sync"
+
+	"ams"
+)
+
+func main() {
+	sys, err := ams.New(ams.Config{Dataset: ams.DatasetMSCOCO, NumImages: 400, Seed: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+	agent, err := sys.TrainAgent(ams.TrainOptions{
+		Algorithm: ams.DuelingDQN, Epochs: 8, Hidden: []int{96}, Seed: 7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A 4-worker server sharing a 6 GB GPU budget, replayed at 1000x
+	// real-time so the example finishes instantly.
+	srv, err := sys.NewServer(agent, ams.ServeConfig{
+		Workers:     4,
+		DeadlineSec: 0.5,
+		MemoryGB:    6,
+		QueueCap:    8,
+		TimeScale:   0.001,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Three clients submit concurrently; SubmitWait blocks when the
+	// bounded queue is saturated (Submit would return ErrQueueFull).
+	var wg sync.WaitGroup
+	for client := 0; client < 3; client++ {
+		wg.Add(1)
+		go func(client int) {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				img := (client*10 + i) % sys.NumTestImages()
+				tk, err := srv.SubmitWait(context.Background(), img)
+				if errors.Is(err, ams.ErrServerClosed) {
+					return
+				}
+				if err != nil {
+					log.Fatal(err)
+				}
+				res := tk.Wait()
+				if i == 0 {
+					fmt.Printf("client %d, image %3d: %2d models, %.2fs schedule, recall %.2f\n",
+						client, res.Image, len(res.ModelsRun), res.TimeSec, res.Recall)
+				}
+			}
+		}(client)
+	}
+	wg.Wait()
+	if err := srv.Close(); err != nil {
+		log.Fatal(err)
+	}
+
+	s := srv.Stats()
+	fmt.Printf("\n%d items served: avg latency %.3fs (p95 %.3fs), recall %.2f, throughput %.1f/s\n",
+		s.Items, s.AvgLatencySec, s.P95LatencySec, s.AvgRecall, s.ThroughputHz)
+	fmt.Printf("peak GPU memory %0.f MB of the %0.f MB budget (%d executions waited)\n",
+		s.PeakMemMB, 6.0*1024, s.MemWaits)
+}

@@ -1,0 +1,3 @@
+module ams
+
+go 1.24

@@ -1,0 +1,88 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+)
+
+// accountant is the shared GPU-memory budget of Algorithm 2, lifted from
+// a per-item schedule to the whole server: every worker must reserve a
+// model's peak footprint before executing it and release it afterwards,
+// so the sum of in-flight footprints never exceeds the budget no matter
+// how many workers run concurrently. Reservations that cannot be granted
+// immediately block until running models release memory — this is the
+// server's execution-level backpressure.
+type accountant struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	budgetMB float64
+	usedMB   float64
+	peakMB   float64
+	waits    int64 // reservations that had to block at least once
+}
+
+func newAccountant(budgetMB float64) *accountant {
+	a := &accountant{budgetMB: budgetMB}
+	a.cond = sync.NewCond(&a.mu)
+	return a
+}
+
+// reserve blocks until mb megabytes are available and claims them. It
+// returns false, without blocking, when mb exceeds the total budget and
+// so could never be granted.
+func (a *accountant) reserve(mb float64) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if mb > a.budgetMB+1e-9 {
+		return false
+	}
+	waited := false
+	for a.usedMB+mb > a.budgetMB+1e-9 {
+		if !waited {
+			waited = true
+			a.waits++
+		}
+		a.cond.Wait()
+	}
+	a.usedMB += mb
+	if a.usedMB > a.peakMB {
+		a.peakMB = a.usedMB
+	}
+	if a.usedMB > a.budgetMB+1e-9 {
+		panic(fmt.Sprintf("serve: memory accountant over-committed: %v MB in use, budget %v MB",
+			a.usedMB, a.budgetMB))
+	}
+	return true
+}
+
+// release returns a reservation to the pool and wakes blocked reservers.
+func (a *accountant) release(mb float64) {
+	a.mu.Lock()
+	a.usedMB -= mb
+	if a.usedMB < -1e-9 {
+		panic(fmt.Sprintf("serve: memory accountant released more than reserved (%v MB in use)", a.usedMB))
+	}
+	a.mu.Unlock()
+	a.cond.Broadcast()
+}
+
+// peak returns the maximum simultaneous reservation observed.
+func (a *accountant) peak() float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.peakMB
+}
+
+// inUse returns the currently reserved megabytes.
+func (a *accountant) inUse() float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.usedMB
+}
+
+// waitCount returns how many reservations had to block.
+func (a *accountant) waitCount() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.waits
+}

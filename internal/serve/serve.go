@@ -1,0 +1,444 @@
+// Package serve is the real-time counterpart of internal/service: a
+// goroutine-based labeling server that actually executes concurrent
+// work instead of simulating it in virtual time. Items are admitted
+// onto a bounded queue and dispatched to a pool of workers; each worker
+// owns one scheduling policy (built by the shared service.PolicyFactory,
+// mirroring LabelBatch's one-clone-per-worker rule) and labels its item
+// under the per-item deadline of Algorithm 1. The joint deadline +
+// GPU-memory setting of Algorithm 2 is enforced globally: all workers
+// reserve model footprints against one shared memory accountant before
+// executing, so the server as a whole never commits more GPU memory
+// than the configured budget, and workers block (backpressure) when the
+// budget is saturated.
+//
+// Admission control is explicit: Submit rejects with ErrQueueFull when
+// the bounded queue is saturated, SubmitWait blocks until space frees,
+// and New rejects configurations that could never make progress (no
+// workers, a memory budget below the smallest model).
+//
+// Model execution is simulated by sleeping the model's nominal duration
+// scaled by Config.TimeScale, so tests and benchmarks can run the real
+// concurrent machinery thousands of times faster than production pacing
+// while keeping every scheduling decision, reservation, and statistic
+// identical. All reported statistics are on the simulated clock
+// (wall-clock divided by TimeScale), making them directly comparable to
+// the virtual-time sim's output — both reduce through service.Summarize.
+// One caveat: the scheduler's real CPU work (the agent's Q-network
+// forward passes — the paper's Table III selection overhead) is not
+// scaled, so very small TimeScale values magnify it relative to model
+// time and inflate the simulated-clock latencies.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"ams/internal/oracle"
+	"ams/internal/service"
+	"ams/internal/sim"
+)
+
+// Sentinel errors of the admission path.
+var (
+	ErrQueueFull = errors.New("serve: queue full")
+	ErrClosed    = errors.New("serve: server closed")
+)
+
+// Config parameterizes a server. The embedded service.Config supplies
+// Workers and DeadlineSec to the server itself; ArrivalRateHz, Items and
+// Seed describe the arrival trace that Replay generates.
+type Config struct {
+	service.Config
+
+	// QueueCap bounds the admission queue (default 2*Workers). Together
+	// with the worker pool it caps in-flight items at QueueCap+Workers.
+	QueueCap int
+
+	// MemoryBudgetMB, when positive, is the GPU memory shared by ALL
+	// workers: the sum of in-flight model footprints never exceeds it.
+	// Zero disables the memory constraint. A model whose footprint
+	// exceeds the whole budget can never run; if a policy selects one,
+	// the item's schedule ends early (Algorithm 2's feasibility check
+	// with an empty candidate set).
+	MemoryBudgetMB float64
+
+	// TimeScale is the real seconds slept per simulated second of model
+	// time (default 1.0, production pacing). Tests use small values to
+	// exercise the full concurrent machinery quickly.
+	TimeScale float64
+
+	// StatsWindow is how many completed-item records the server retains
+	// for Stats (default 65536), bounding memory on a long-running
+	// server: once exceeded, Stats summarizes the most recent window.
+	// Replay raises it to cover its whole trace.
+	StatsWindow int
+}
+
+// defaultStatsWindow bounds retained per-item records (~40 B each).
+const defaultStatsWindow = 1 << 16
+
+// ItemResult is the outcome of one labeled item.
+type ItemResult struct {
+	Image      int
+	Executed   []int   // model IDs in execution order
+	ScheduleMS float64 // summed nominal model time
+	Recall     float64
+	WaitSec    float64 // queue wait on the simulated clock
+	LatencySec float64 // submit -> completion on the simulated clock
+}
+
+// Ticket tracks one submitted item to completion.
+type Ticket struct {
+	image   int
+	arrival time.Time
+	done    chan struct{}
+	res     ItemResult
+}
+
+// Done is closed when the item has been labeled.
+func (t *Ticket) Done() <-chan struct{} { return t.done }
+
+// Wait blocks until the item has been labeled and returns its result.
+func (t *Ticket) Wait() ItemResult {
+	<-t.done
+	return t.res
+}
+
+// Server is a running labeling server. Create one with New, feed it with
+// Submit/SubmitWait, and stop it with Close, which drains the queue.
+type Server struct {
+	st      *oracle.Store
+	cfg     Config
+	factory service.PolicyFactory
+	acct    *accountant // nil when no memory budget is configured
+	queue   chan *Ticket
+	stop    chan struct{} // closed by Close to wake blocked SubmitWait senders
+	start   time.Time
+	wg      sync.WaitGroup // workers
+	senders sync.WaitGroup // in-flight SubmitWait sends; drained before queue close
+
+	mu        sync.Mutex // guards closed, records, counters; held across Submit's send
+	closed    bool
+	records   []service.Record // ring of the most recent StatsWindow completions
+	recHead   int              // next overwrite position once the ring is full
+	completed int64
+	rejected  int64
+}
+
+// New validates the configuration and starts the worker pool.
+func New(st *oracle.Store, factory service.PolicyFactory, cfg Config) (*Server, error) {
+	if st == nil || factory == nil {
+		return nil, errors.New("serve: nil store or policy factory")
+	}
+	if cfg.Workers <= 0 {
+		return nil, fmt.Errorf("serve: need at least one worker, got %d", cfg.Workers)
+	}
+	if cfg.DeadlineSec <= 0 {
+		return nil, fmt.Errorf("serve: need a positive per-item deadline, got %v", cfg.DeadlineSec)
+	}
+	if cfg.TimeScale == 0 {
+		cfg.TimeScale = 1.0
+	}
+	if cfg.TimeScale < 0 {
+		return nil, fmt.Errorf("serve: negative time scale %v", cfg.TimeScale)
+	}
+	if cfg.QueueCap == 0 {
+		cfg.QueueCap = 2 * cfg.Workers
+	}
+	if cfg.QueueCap < 0 {
+		return nil, fmt.Errorf("serve: negative queue capacity %d", cfg.QueueCap)
+	}
+	if cfg.StatsWindow < 0 {
+		return nil, fmt.Errorf("serve: negative stats window %d", cfg.StatsWindow)
+	}
+	if cfg.StatsWindow == 0 {
+		cfg.StatsWindow = defaultStatsWindow
+	}
+	var acct *accountant
+	if cfg.MemoryBudgetMB < 0 {
+		return nil, fmt.Errorf("serve: negative memory budget %v MB", cfg.MemoryBudgetMB)
+	}
+	if cfg.MemoryBudgetMB > 0 {
+		smallest := st.Zoo.Models[0].MemMB
+		for _, m := range st.Zoo.Models {
+			if m.MemMB < smallest {
+				smallest = m.MemMB
+			}
+		}
+		if cfg.MemoryBudgetMB < smallest {
+			return nil, fmt.Errorf("serve: memory budget %v MB below the smallest model (%v MB); no model could ever run",
+				cfg.MemoryBudgetMB, smallest)
+		}
+		acct = newAccountant(cfg.MemoryBudgetMB)
+	}
+	s := &Server{
+		st:      st,
+		cfg:     cfg,
+		factory: factory,
+		acct:    acct,
+		queue:   make(chan *Ticket, cfg.QueueCap),
+		stop:    make(chan struct{}),
+		start:   time.Now(),
+	}
+	for w := 0; w < cfg.Workers; w++ {
+		s.wg.Add(1)
+		go s.worker(w)
+	}
+	return s, nil
+}
+
+// Submit admits one image without blocking. It returns ErrQueueFull when
+// the bounded queue is saturated (the caller's backpressure signal) and
+// ErrClosed after Close.
+func (s *Server) Submit(image int) (*Ticket, error) {
+	tk, err := s.ticket(image)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	select {
+	case s.queue <- tk:
+		return tk, nil
+	default:
+		s.rejected++
+		return nil, ErrQueueFull
+	}
+}
+
+// SubmitWait admits one image, blocking while the queue is full until
+// space frees, the context is cancelled, or the server closes.
+func (s *Server) SubmitWait(ctx context.Context, image int) (*Ticket, error) {
+	tk, err := s.ticket(image)
+	if err != nil {
+		return nil, err
+	}
+	// Register as a sender before touching the queue: Close drains the
+	// senders group before closing the channel, so a blocked send can
+	// never hit a closed queue.
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrClosed
+	}
+	s.senders.Add(1)
+	s.mu.Unlock()
+	defer s.senders.Done()
+	select {
+	case s.queue <- tk:
+		return tk, nil
+	case <-s.stop:
+		return nil, ErrClosed
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+func (s *Server) ticket(image int) (*Ticket, error) {
+	if image < 0 || image >= s.st.NumScenes() {
+		return nil, fmt.Errorf("serve: image %d out of range [0,%d)", image, s.st.NumScenes())
+	}
+	return &Ticket{image: image, arrival: time.Now(), done: make(chan struct{})}, nil
+}
+
+// Close stops admission, drains the queue, and waits for in-flight items
+// to complete. It is safe to call once; later calls return ErrClosed.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	s.closed = true
+	s.mu.Unlock()
+	close(s.stop)    // wake SubmitWait senders blocked on a full queue
+	s.senders.Wait() // after which no send can touch the queue
+	close(s.queue)   // let workers drain and exit
+	s.wg.Wait()
+	return nil
+}
+
+// worker owns one policy instance (and, through the factory, one private
+// agent clone) and labels queued items until the queue closes.
+func (s *Server) worker(w int) {
+	defer s.wg.Done()
+	policy := s.factory(w)
+	for tk := range s.queue {
+		s.process(policy, tk)
+	}
+}
+
+// process runs one item's schedule: Algorithm 1's serial deadline loop,
+// with every model execution gated by the global memory accountant.
+func (s *Server) process(policy sim.DeadlinePolicy, tk *Ticket) {
+	startWall := time.Now()
+	policy.Reset(tk.image)
+	tr := oracle.NewTracker(s.st, tk.image)
+	remaining := s.cfg.DeadlineSec * 1000
+	var (
+		executed []int
+		schedMS  float64
+	)
+	for tr.ExecutedCount() < s.st.NumModels() {
+		m := policy.Next(tr, remaining)
+		if m < 0 {
+			break
+		}
+		mod := s.st.Zoo.Models[m]
+		if mod.TimeMS > remaining+1e-9 {
+			panic(fmt.Sprintf("serve: policy %s exceeded the deadline (model %d needs %v, %v left)",
+				policy.Name(), m, mod.TimeMS, remaining))
+		}
+		if s.acct != nil && !s.acct.reserve(mod.MemMB) {
+			break // footprint exceeds the whole budget: never feasible
+		}
+		sleepFor(mod.TimeMS * s.cfg.TimeScale)
+		if s.acct != nil {
+			s.acct.release(mod.MemMB)
+		}
+		tr.Execute(m)
+		policy.Observe(m, s.st.Output(tk.image, m))
+		executed = append(executed, m)
+		schedMS += mod.TimeMS
+		remaining -= mod.TimeMS
+	}
+	finishWall := time.Now()
+
+	// Record on the simulated clock so Stats is comparable to the sim.
+	scale := s.cfg.TimeScale
+	rec := service.Record{
+		ArrivalSec: tk.arrival.Sub(s.start).Seconds() / scale,
+		StartSec:   startWall.Sub(s.start).Seconds() / scale,
+		FinishSec:  finishWall.Sub(s.start).Seconds() / scale,
+		BusySec:    schedMS / 1000,
+		Recall:     tr.Recall(),
+	}
+	tk.res = ItemResult{
+		Image:      tk.image,
+		Executed:   executed,
+		ScheduleMS: schedMS,
+		Recall:     tr.Recall(),
+		WaitSec:    rec.StartSec - rec.ArrivalSec,
+		LatencySec: rec.FinishSec - rec.ArrivalSec,
+	}
+	s.mu.Lock()
+	s.completed++
+	if len(s.records) < s.cfg.StatsWindow {
+		s.records = append(s.records, rec)
+	} else {
+		// Ring: overwrite the oldest record so a long-running server's
+		// footprint stays bounded.
+		s.records[s.recHead] = rec
+		s.recHead = (s.recHead + 1) % s.cfg.StatsWindow
+	}
+	s.mu.Unlock()
+	close(tk.done)
+}
+
+// sleepFor sleeps ms milliseconds of real time (the scaled execution).
+func sleepFor(ms float64) {
+	if ms <= 0 {
+		return
+	}
+	time.Sleep(time.Duration(ms * float64(time.Millisecond)))
+}
+
+// RunStats extends the shared Stats with the server's concurrency
+// counters.
+type RunStats struct {
+	service.Stats
+	Completed int64   // total completions (Stats.Items caps at StatsWindow)
+	PeakMemMB float64 // maximum simultaneous reservation observed
+	MemWaits  int64   // reservations that blocked on the budget
+	Rejected  int64   // submits rejected with ErrQueueFull
+}
+
+// Stats summarizes the most recent StatsWindow completed items through
+// the same service.Summarize reduction the virtual-time sim uses.
+func (s *Server) Stats() RunStats {
+	s.mu.Lock()
+	records := append([]service.Record(nil), s.records...)
+	completed := s.completed
+	rejected := s.rejected
+	s.mu.Unlock()
+	rs := RunStats{
+		Stats:     service.Summarize(records, s.cfg.Workers),
+		Completed: completed,
+		Rejected:  rejected,
+	}
+	if completed > int64(rs.Items) && rs.Items > 0 {
+		// The ring has wrapped: Summarize's throughput/utilization
+		// denominator (horizon since server start) would decay toward
+		// zero as old records drop, so re-derive both over the
+		// retained window's own span.
+		minArr, maxFin := records[0].ArrivalSec, records[0].FinishSec
+		var busy float64
+		for _, r := range records {
+			if r.ArrivalSec < minArr {
+				minArr = r.ArrivalSec
+			}
+			if r.FinishSec > maxFin {
+				maxFin = r.FinishSec
+			}
+			busy += r.BusySec
+		}
+		if span := maxFin - minArr; span > 0 {
+			rs.ThroughputHz = float64(rs.Items) / span
+			rs.Utilization = busy / (float64(s.cfg.Workers) * span)
+		}
+	}
+	if s.acct != nil {
+		rs.PeakMemMB = s.acct.peak()
+		rs.MemWaits = s.acct.waitCount()
+	}
+	return rs
+}
+
+// PeakMemMB returns the accountant's observed peak (0 when unbudgeted).
+func (s *Server) PeakMemMB() float64 {
+	if s.acct == nil {
+		return 0
+	}
+	return s.acct.peak()
+}
+
+// Replay drives a fresh server with the same Poisson arrival trace the
+// virtual-time sim generates for cfg (arrival pacing scaled by
+// TimeScale), blocking on the queue when the server falls behind, then
+// closes the server and returns its statistics.
+func Replay(st *oracle.Store, factory service.PolicyFactory, cfg Config) (RunStats, error) {
+	if cfg.ArrivalRateHz <= 0 || cfg.Items <= 0 {
+		return RunStats{}, fmt.Errorf("serve: replay needs a positive arrival rate and item count, got %v Hz / %d items",
+			cfg.ArrivalRateHz, cfg.Items)
+	}
+	if cfg.TimeScale == 0 {
+		cfg.TimeScale = 1.0 // keep arrival pacing on the same scale New defaults to
+	}
+	if cfg.StatsWindow == 0 && cfg.Items > defaultStatsWindow {
+		cfg.StatsWindow = cfg.Items // summarize the whole trace
+	}
+	s, err := New(st, factory, cfg)
+	if err != nil {
+		return RunStats{}, err
+	}
+	arrivals := service.Arrivals(cfg.Items, cfg.ArrivalRateHz, cfg.Seed)
+	for i, at := range arrivals {
+		if d := time.Duration(at*cfg.TimeScale*float64(time.Second)) - time.Since(s.start); d > 0 {
+			time.Sleep(d)
+		}
+		if _, err := s.SubmitWait(context.Background(), i%st.NumScenes()); err != nil {
+			s.Close()
+			return RunStats{}, err
+		}
+	}
+	if err := s.Close(); err != nil {
+		return RunStats{}, err
+	}
+	return s.Stats(), nil
+}

@@ -1,0 +1,386 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"ams/internal/labels"
+	"ams/internal/oracle"
+	"ams/internal/sched"
+	"ams/internal/service"
+	"ams/internal/sim"
+	"ams/internal/synth"
+	"ams/internal/tensor"
+	"ams/internal/zoo"
+)
+
+var (
+	vocab = labels.NewVocabulary()
+	z     = zoo.NewZoo(vocab)
+	ds    = synth.NewDataset(vocab, synth.MSCOCO(), 40, 77)
+	store = oracle.Build(z, ds.Scenes)
+)
+
+// fast is a quick-running config: a millisecond of model time sleeps one
+// microsecond, so a full 0.5 s schedule costs 0.5 ms of wall clock.
+func fast(workers int) Config {
+	return Config{
+		Config:    service.Config{Workers: workers, DeadlineSec: 0.5},
+		TimeScale: 0.001,
+	}
+}
+
+func randomFactory(seed uint64) service.PolicyFactory {
+	return func(worker int) sim.DeadlinePolicy {
+		return sched.NewRandomDeadline(z, tensor.NewRNG(seed+uint64(worker)))
+	}
+}
+
+// fixedPolicy executes a fixed model list in order, ignoring value. It
+// gives timing tests a deterministic per-item schedule length.
+type fixedPolicy struct{ models []int }
+
+func (p *fixedPolicy) Name() string { return "fixed" }
+func (p *fixedPolicy) Reset(int)    {}
+func (p *fixedPolicy) Next(t *oracle.Tracker, remainingMS float64) int {
+	for _, m := range p.models {
+		if !t.Executed(m) && z.Models[m].TimeMS <= remainingMS+1e-9 {
+			return m
+		}
+	}
+	return -1
+}
+func (p *fixedPolicy) Observe(int, zoo.Output) {}
+
+func fixedFactory(models ...int) service.PolicyFactory {
+	return func(worker int) sim.DeadlinePolicy { return &fixedPolicy{models: models} }
+}
+
+func TestNewValidation(t *testing.T) {
+	base := fast(2)
+	for _, tc := range []struct {
+		name string
+		mut  func(*Config)
+		want string
+	}{
+		{"zero workers", func(c *Config) { c.Workers = 0 }, "at least one worker"},
+		{"negative workers", func(c *Config) { c.Workers = -3 }, "at least one worker"},
+		{"no deadline", func(c *Config) { c.DeadlineSec = 0 }, "deadline"},
+		{"negative time scale", func(c *Config) { c.TimeScale = -1 }, "time scale"},
+		{"negative queue", func(c *Config) { c.QueueCap = -1 }, "queue"},
+		{"negative budget", func(c *Config) { c.MemoryBudgetMB = -4 }, "memory budget"},
+		{"negative stats window", func(c *Config) { c.StatsWindow = -1 }, "stats window"},
+		{"exhausted budget", func(c *Config) { c.MemoryBudgetMB = 100 }, "smallest model"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := base
+			tc.mut(&cfg)
+			_, err := New(store, randomFactory(1), cfg)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("New = %v, want error containing %q", err, tc.want)
+			}
+		})
+	}
+	if _, err := New(nil, randomFactory(1), base); err == nil {
+		t.Fatal("nil store accepted")
+	}
+	if _, err := New(store, nil, base); err == nil {
+		t.Fatal("nil factory accepted")
+	}
+}
+
+func TestSubmitValidationAndClose(t *testing.T) {
+	s, err := New(store, randomFactory(1), fast(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Submit(-1); err == nil {
+		t.Fatal("negative image accepted")
+	}
+	if _, err := s.Submit(store.NumScenes()); err == nil {
+		t.Fatal("out-of-range image accepted")
+	}
+	tk, err := s.Submit(0)
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	res := tk.Wait()
+	if res.Image != 0 || res.Recall < 0 || res.Recall > 1+1e-9 {
+		t.Fatalf("bad result %+v", res)
+	}
+	if res.ScheduleMS > 500+1e-9 {
+		t.Fatalf("schedule %v ms exceeds the 500 ms deadline", res.ScheduleMS)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if _, err := s.Submit(0); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Submit after Close = %v, want ErrClosed", err)
+	}
+	if _, err := s.SubmitWait(context.Background(), 0); !errors.Is(err, ErrClosed) {
+		t.Fatalf("SubmitWait after Close = %v, want ErrClosed", err)
+	}
+	if err := s.Close(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("second Close = %v, want ErrClosed", err)
+	}
+}
+
+func TestQueueFullBackpressure(t *testing.T) {
+	// One worker, queue of one. The worker's single model (380 model-ms
+	// at TimeScale 0.1) occupies it for ~38 ms of wall clock — a wide
+	// margin over the test's submit burst.
+	cfg := Config{
+		Config:    service.Config{Workers: 1, DeadlineSec: 0.5},
+		QueueCap:  1,
+		TimeScale: 0.1,
+	}
+	s, err := New(store, fixedFactory(1), cfg) // model 1: objdet-accurate, 380 ms
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	first, err := s.Submit(0)
+	if err != nil {
+		t.Fatalf("first submit: %v", err)
+	}
+	// Give the worker time to dequeue the first item and start sleeping.
+	time.Sleep(10 * time.Millisecond)
+	if _, err := s.Submit(1); err != nil {
+		t.Fatalf("second submit should occupy the queue: %v", err)
+	}
+	if _, err := s.Submit(2); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("third submit = %v, want ErrQueueFull", err)
+	}
+	if got := s.Stats().Rejected; got != 1 {
+		t.Fatalf("rejected count %d, want 1", got)
+	}
+	// Backpressure is transient: a blocking submit gets through.
+	if _, err := s.SubmitWait(context.Background(), 2); err != nil {
+		t.Fatalf("SubmitWait during backpressure: %v", err)
+	}
+	first.Wait()
+}
+
+func TestSubmitWaitHonorsContext(t *testing.T) {
+	cfg := Config{
+		Config:    service.Config{Workers: 1, DeadlineSec: 0.5},
+		QueueCap:  1,
+		TimeScale: 0.1,
+	}
+	s, err := New(store, fixedFactory(1), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := s.Submit(0); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(10 * time.Millisecond)
+	if _, err := s.Submit(1); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	if _, err := s.SubmitWait(ctx, 2); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("SubmitWait = %v, want deadline exceeded", err)
+	}
+}
+
+// TestMemoryBudgetNeverOvercommits is the headline concurrency test: a
+// pool of four workers labels 240 items under a budget that only fits a
+// couple of models at a time, and the shared accountant must never let
+// the in-flight footprint exceed the budget.
+func TestMemoryBudgetNeverOvercommits(t *testing.T) {
+	const budgetMB = 6000
+	cfg := fast(4)
+	cfg.QueueCap = 16
+	cfg.MemoryBudgetMB = budgetMB
+	s, err := New(store, randomFactory(3), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const items = 240
+	var wg sync.WaitGroup
+	tickets := make([]*Ticket, items)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := g; i < items; i += 8 {
+				tk, err := s.SubmitWait(context.Background(), i%store.NumScenes())
+				if err != nil {
+					t.Errorf("submit %d: %v", i, err)
+					return
+				}
+				tickets[i] = tk
+			}
+		}(g)
+	}
+	wg.Wait()
+	for i, tk := range tickets {
+		if tk == nil {
+			t.Fatalf("item %d never submitted", i)
+		}
+		res := tk.Wait()
+		if res.Recall < 0 || res.Recall > 1+1e-9 {
+			t.Fatalf("item %d recall %v", i, res.Recall)
+		}
+		if res.ScheduleMS > 500+1e-9 {
+			t.Fatalf("item %d schedule %v ms over deadline", i, res.ScheduleMS)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.Items != items {
+		t.Fatalf("completed %d items, want %d", st.Items, items)
+	}
+	if st.PeakMemMB <= 0 || st.PeakMemMB > budgetMB+1e-9 {
+		t.Fatalf("peak memory %v MB outside (0, %v]", st.PeakMemMB, budgetMB)
+	}
+	if st.MemWaits == 0 {
+		t.Fatalf("a %v MB budget over 4 workers should have forced waits", budgetMB)
+	}
+	if s.acct.inUse() != 0 {
+		t.Fatalf("%v MB still reserved after drain", s.acct.inUse())
+	}
+	if st.AvgRecall <= 0 {
+		t.Fatalf("average recall %v", st.AvgRecall)
+	}
+}
+
+// TestTightBudgetSerializesExecution: with a budget that fits exactly one
+// mid-size model, concurrent workers degrade to (correct) serial
+// execution instead of over-committing.
+func TestTightBudgetSerializesExecution(t *testing.T) {
+	cfg := fast(4)
+	cfg.MemoryBudgetMB = 900                          // fits one ~500-900 MB model at a time
+	s, err := New(store, fixedFactory(6, 8, 19), cfg) // 500, 650, 520 MB models
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 40; i++ {
+		if _, err := s.SubmitWait(context.Background(), i%store.NumScenes()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.Items != 40 {
+		t.Fatalf("items %d", st.Items)
+	}
+	if st.PeakMemMB > 900+1e-9 {
+		t.Fatalf("peak %v MB over the 900 MB budget", st.PeakMemMB)
+	}
+}
+
+// TestOversizedModelEndsScheduleEarly: a policy that insists on a model
+// bigger than the whole budget ends the item instead of deadlocking.
+func TestOversizedModelEndsScheduleEarly(t *testing.T) {
+	cfg := fast(2)
+	cfg.MemoryBudgetMB = 1000                      // pose-openpose (8000 MB) can never run
+	s, err := New(store, fixedFactory(6, 12), cfg) // facedet-blaze then pose-openpose
+	if err != nil {
+		t.Fatal(err)
+	}
+	tk, err := s.Submit(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := tk.Wait()
+	if len(res.Executed) != 1 || res.Executed[0] != 6 {
+		t.Fatalf("executed %v, want just model 6", res.Executed)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStatsMatchSimShape(t *testing.T) {
+	cfg := Config{
+		Config: service.Config{
+			Workers: 2, ArrivalRateHz: 2000, DeadlineSec: 0.5, Items: 60, Seed: 9,
+		},
+		TimeScale: 0.001,
+	}
+	got, err := Replay(store, randomFactory(9), cfg)
+	if err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	if got.Items != 60 {
+		t.Fatalf("items %d", got.Items)
+	}
+	if got.AvgLatencySec < got.AvgQueueWaitSec {
+		t.Fatalf("latency %v below queue wait %v", got.AvgLatencySec, got.AvgQueueWaitSec)
+	}
+	if got.AvgRecall <= 0 || got.AvgRecall > 1+1e-9 {
+		t.Fatalf("recall %v", got.AvgRecall)
+	}
+	if got.ThroughputHz <= 0 || got.HorizonSec <= 0 {
+		t.Fatalf("throughput %v horizon %v", got.ThroughputHz, got.HorizonSec)
+	}
+	if got.Utilization <= 0 || got.Utilization > 1+1e-6 {
+		t.Fatalf("utilization %v out of range", got.Utilization)
+	}
+	// The virtual-time sim accepts the very same config and factory —
+	// the shared-type contract this package was refactored for.
+	simStats := service.Run(store, randomFactory(9), cfg.Config)
+	if simStats.Items != got.Items {
+		t.Fatalf("sim labeled %d items, server %d", simStats.Items, got.Items)
+	}
+}
+
+// TestStatsWindowBoundsRetention: a long-running server keeps only the
+// most recent StatsWindow records while Completed counts everything.
+func TestStatsWindowBoundsRetention(t *testing.T) {
+	cfg := fast(2)
+	cfg.StatsWindow = 10
+	s, err := New(store, fixedFactory(6), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 25; i++ {
+		if _, err := s.SubmitWait(context.Background(), i%store.NumScenes()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.Completed != 25 {
+		t.Fatalf("completed %d, want 25", st.Completed)
+	}
+	if st.Items != 10 {
+		t.Fatalf("summarized %d records, want the 10-item window", st.Items)
+	}
+	// Windowed throughput/utilization are measured over the window's own
+	// span, so they must stay sane instead of decaying with server age.
+	if st.ThroughputHz <= 0 {
+		t.Fatalf("windowed throughput %v", st.ThroughputHz)
+	}
+	if st.Utilization <= 0 || st.Utilization > 1+1e-6 {
+		t.Fatalf("windowed utilization %v out of range", st.Utilization)
+	}
+}
+
+func TestReplayValidation(t *testing.T) {
+	cfg := fast(1)
+	if _, err := Replay(store, randomFactory(1), cfg); err == nil {
+		t.Fatal("replay without an arrival trace accepted")
+	}
+	cfg.ArrivalRateHz = 100
+	cfg.Items = 5
+	cfg.Workers = 0
+	if _, err := Replay(store, randomFactory(1), cfg); err == nil {
+		t.Fatal("replay with zero workers accepted")
+	}
+}

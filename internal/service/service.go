@@ -10,42 +10,21 @@
 // This is the serving-system view of the paper's motivation ("limited
 // computing resources and stringent delay" for a data stream): the same
 // per-item scheduling policies, embedded in a queue.
+//
+// The run description (Config), worker policy wiring (PolicyFactory) and
+// result reduction (Record, Summarize, Stats) live in types.go and are
+// shared with internal/serve, the real concurrent server, so virtual-time
+// and wall-clock runs of the same workload report comparable numbers.
 package service
 
 import (
 	"fmt"
 	"math"
-	"sort"
 
 	"ams/internal/oracle"
 	"ams/internal/sim"
 	"ams/internal/tensor"
 )
-
-// Config parameterizes one service run.
-type Config struct {
-	Workers       int     // parallel executors (GPUs)
-	ArrivalRateHz float64 // mean arrivals per second (Poisson process)
-	DeadlineSec   float64 // per-item scheduling budget
-	Items         int     // stream length; images cycle through the store
-	Seed          uint64
-}
-
-// Stats summarizes a run.
-type Stats struct {
-	Items           int
-	AvgQueueWaitSec float64 // arrival -> execution start
-	AvgLatencySec   float64 // arrival -> completion
-	P95LatencySec   float64
-	AvgRecall       float64
-	ThroughputHz    float64 // completions per simulated second
-	Utilization     float64 // busy worker-time / (workers * horizon)
-	HorizonSec      float64 // completion time of the last item
-}
-
-// PolicyFactory builds one deadline policy per worker. Policies are not
-// shared across workers so stateful implementations stay correct.
-type PolicyFactory func(worker int) sim.DeadlinePolicy
 
 // Run simulates the service over the store's images.
 func Run(st *oracle.Store, factory PolicyFactory, cfg Config) Stats {
@@ -55,15 +34,7 @@ func Run(st *oracle.Store, factory PolicyFactory, cfg Config) Stats {
 	if cfg.ArrivalRateHz <= 0 || cfg.DeadlineSec <= 0 || cfg.Items <= 0 {
 		panic(fmt.Sprintf("service: invalid config %+v", cfg))
 	}
-	rng := tensor.NewRNG(cfg.Seed ^ 0x2545f4914f6cdd1d)
-
-	// Precompute arrivals (seconds).
-	arrivals := make([]float64, cfg.Items)
-	t := 0.0
-	for i := range arrivals {
-		t += expDraw(rng, cfg.ArrivalRateHz)
-		arrivals[i] = t
-	}
+	arrivals := Arrivals(cfg.Items, cfg.ArrivalRateHz, cfg.Seed)
 
 	policies := make([]sim.DeadlinePolicy, cfg.Workers)
 	for w := range policies {
@@ -71,11 +42,7 @@ func Run(st *oracle.Store, factory PolicyFactory, cfg Config) Stats {
 	}
 	workerFree := make([]float64, cfg.Workers)
 
-	var (
-		stats     Stats
-		latencies []float64
-		busy      float64
-	)
+	records := make([]Record, 0, cfg.Items)
 	for i := 0; i < cfg.Items; i++ {
 		// Earliest available worker takes the job.
 		w := 0
@@ -88,31 +55,33 @@ func Run(st *oracle.Store, factory PolicyFactory, cfg Config) Stats {
 		img := i % st.NumScenes()
 		res := sim.RunDeadline(st, img, policies[w], cfg.DeadlineSec*1000)
 		dur := res.TimeMS / 1000
-		finish := start + dur
-		workerFree[w] = finish
-		busy += dur
+		workerFree[w] = start + dur
+		records = append(records, Record{
+			ArrivalSec: arrivals[i],
+			StartSec:   start,
+			FinishSec:  start + dur,
+			BusySec:    dur,
+			Recall:     res.Recall,
+		})
+	}
+	return Summarize(records, cfg.Workers)
+}
 
-		stats.AvgQueueWaitSec += start - arrivals[i]
-		lat := finish - arrivals[i]
-		stats.AvgLatencySec += lat
-		latencies = append(latencies, lat)
-		stats.AvgRecall += res.Recall
-		if finish > stats.HorizonSec {
-			stats.HorizonSec = finish
-		}
+// Arrivals precomputes a Poisson arrival trace: item i arrives at the
+// returned offset in seconds. The real server replays the same trace in
+// scaled wall-clock time.
+func Arrivals(items int, rateHz float64, seed uint64) []float64 {
+	if items <= 0 || rateHz <= 0 {
+		panic(fmt.Sprintf("service: invalid arrival trace %d items at %v Hz", items, rateHz))
 	}
-	n := float64(cfg.Items)
-	stats.Items = cfg.Items
-	stats.AvgQueueWaitSec /= n
-	stats.AvgLatencySec /= n
-	stats.AvgRecall /= n
-	sort.Float64s(latencies)
-	stats.P95LatencySec = latencies[int(0.95*float64(len(latencies)-1))]
-	if stats.HorizonSec > 0 {
-		stats.ThroughputHz = n / stats.HorizonSec
-		stats.Utilization = busy / (float64(cfg.Workers) * stats.HorizonSec)
+	rng := tensor.NewRNG(seed ^ 0x2545f4914f6cdd1d)
+	arrivals := make([]float64, items)
+	t := 0.0
+	for i := range arrivals {
+		t += expDraw(rng, rateHz)
+		arrivals[i] = t
 	}
-	return stats
+	return arrivals
 }
 
 // expDraw samples an exponential interarrival time with the given rate.

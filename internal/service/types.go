@@ -1,0 +1,83 @@
+package service
+
+import (
+	"sort"
+
+	"ams/internal/sim"
+)
+
+// The types in this file are shared between the two serving subsystems:
+// the virtual-time discrete-event simulation in this package and the real
+// goroutine-based server in internal/serve. Both describe a run with the
+// same Config, drive workers through the same PolicyFactory, and reduce
+// per-item completion Records to the same Stats, so a simulated run and a
+// real run of the same workload can be compared field by field.
+
+// Config parameterizes one service run.
+type Config struct {
+	Workers       int     // parallel executors (GPUs)
+	ArrivalRateHz float64 // mean arrivals per second (Poisson process)
+	DeadlineSec   float64 // per-item scheduling budget
+	Items         int     // stream length; images cycle through the store
+	Seed          uint64
+}
+
+// Stats summarizes a run.
+type Stats struct {
+	Items           int
+	AvgQueueWaitSec float64 // arrival -> execution start
+	AvgLatencySec   float64 // arrival -> completion
+	P95LatencySec   float64
+	AvgRecall       float64
+	ThroughputHz    float64 // completions per simulated second
+	Utilization     float64 // busy worker-time / (workers * horizon)
+	HorizonSec      float64 // completion time of the last item
+}
+
+// PolicyFactory builds one deadline policy per worker. Policies are not
+// shared across workers so stateful implementations stay correct.
+type PolicyFactory func(worker int) sim.DeadlinePolicy
+
+// Record is one completed item, all times in seconds on a common clock
+// (virtual seconds for the sim, scaled wall-clock for the real server).
+type Record struct {
+	ArrivalSec float64 // when the item entered the system
+	StartSec   float64 // when a worker began executing models for it
+	FinishSec  float64 // when its schedule completed
+	BusySec    float64 // model execution time charged to the worker
+	Recall     float64 // fraction of the item's valuable value recalled
+}
+
+// Summarize reduces completion records to run statistics. It is the
+// single aggregation path for both serving subsystems.
+func Summarize(records []Record, workers int) Stats {
+	var stats Stats
+	stats.Items = len(records)
+	if stats.Items == 0 {
+		return stats
+	}
+	latencies := make([]float64, 0, len(records))
+	var busy float64
+	for _, r := range records {
+		stats.AvgQueueWaitSec += r.StartSec - r.ArrivalSec
+		lat := r.FinishSec - r.ArrivalSec
+		stats.AvgLatencySec += lat
+		latencies = append(latencies, lat)
+		stats.AvgRecall += r.Recall
+		busy += r.BusySec
+		if r.FinishSec > stats.HorizonSec {
+			stats.HorizonSec = r.FinishSec
+		}
+	}
+	n := float64(stats.Items)
+	stats.AvgQueueWaitSec /= n
+	stats.AvgLatencySec /= n
+	stats.AvgRecall /= n
+	sort.Float64s(latencies)
+	stats.P95LatencySec = latencies[int(0.95*float64(len(latencies)-1))]
+	if stats.HorizonSec > 0 {
+		stats.ThroughputHz = n / stats.HorizonSec
+		stats.Utilization = busy / (float64(workers) * stats.HorizonSec)
+	}
+	return stats
+}

@@ -32,6 +32,19 @@ func LoadAgent(path string) (*Agent, error) {
 	return &Agent{inner: inner}, nil
 }
 
+// cloneInner returns a private copy of the agent's predictor for one
+// worker: a forward pass caches activations in the network, so
+// concurrent workers must never share one. Both LabelBatch and the
+// serving layer build their per-worker agents through this rule.
+func (a *Agent) cloneInner() *core.Agent {
+	return &core.Agent{
+		Net:       a.inner.Net.Clone(),
+		NumModels: a.inner.NumModels,
+		Algo:      a.inner.Algo,
+		Dataset:   a.inner.Dataset,
+	}
+}
+
 // PredictValues returns the agent's current value estimate for every
 // model given the set of label IDs already emitted for the item.
 func (a *Agent) PredictValues(emittedLabelIDs []int) []float64 {

@@ -1,0 +1,225 @@
+package ams
+
+import (
+	"context"
+	"fmt"
+
+	"ams/internal/sched"
+	"ams/internal/serve"
+	"ams/internal/service"
+	"ams/internal/sim"
+)
+
+// Admission errors surfaced by Server. ErrQueueFull is the backpressure
+// signal of the bounded queue; ErrServerClosed follows Close.
+var (
+	ErrQueueFull    = serve.ErrQueueFull
+	ErrServerClosed = serve.ErrClosed
+)
+
+// ServeConfig parameterizes a labeling server over the system's held-out
+// images.
+type ServeConfig struct {
+	// Workers is the number of concurrent labeling workers. Each worker
+	// owns a private clone of the agent's network (LabelBatch's cloning
+	// rule) driving one Algorithm-1 deadline policy.
+	Workers int
+	// DeadlineSec is the per-item scheduling budget, as in Label.
+	DeadlineSec float64
+	// MemoryGB, when positive, is the GPU memory budget shared by ALL
+	// workers: Algorithm 2's joint constraint enforced globally, so the
+	// sum of in-flight model footprints across the pool never exceeds
+	// it. Workers block when the budget is saturated.
+	MemoryGB float64
+	// QueueCap bounds the admission queue (default 2*Workers). Submit
+	// rejects with ErrQueueFull when it is saturated.
+	QueueCap int
+	// TimeScale is the real seconds slept per simulated second of model
+	// execution (default 1.0). Small values run the full concurrent
+	// machinery at test speed.
+	TimeScale float64
+	// StatsWindow is how many completed items Stats retains (default
+	// 65536): a long-running server summarizes only the most recent
+	// window, while ServeStats.Completed keeps the total count.
+	StatsWindow int
+}
+
+// ServeTrace describes a Poisson arrival trace for Serve and
+// SimulateServe.
+type ServeTrace struct {
+	ArrivalRateHz float64 // mean arrivals per second
+	Items         int     // stream length; images cycle through the test split
+	Seed          uint64
+}
+
+// ServeStats reports a serving run in the same shape as the virtual-time
+// simulation, plus the real server's concurrency counters. Times are on
+// the simulated clock (wall-clock divided by TimeScale) so real and
+// simulated runs compare field by field.
+type ServeStats struct {
+	Items           int     // items in the summarized window
+	Completed       int64   // total completions (exceeds Items once the window wraps)
+	AvgQueueWaitSec float64 // submit -> execution start
+	AvgLatencySec   float64 // submit -> completion
+	P95LatencySec   float64
+	AvgRecall       float64
+	ThroughputHz    float64 // completions per simulated second
+	Utilization     float64 // busy worker-time / (workers * horizon)
+	HorizonSec      float64 // completion time of the last item
+
+	PeakMemMB float64 // maximum simultaneous GPU reservation (real server)
+	MemWaits  int64   // executions that blocked on the memory budget
+	Rejected  int64   // submits rejected with ErrQueueFull
+}
+
+// Server is a running concurrent labeling server over the system's
+// held-out images. Create one with NewServer, feed it with Submit or
+// SubmitWait, and stop it with Close (which drains queued items).
+type Server struct {
+	sys   *System
+	inner *serve.Server
+}
+
+// ServeTicket tracks one submitted image to completion.
+type ServeTicket struct {
+	sys   *System
+	inner *serve.Ticket
+}
+
+// Done is closed when the image has been labeled.
+func (t *ServeTicket) Done() <-chan struct{} { return t.inner.Done() }
+
+// Wait blocks until the image has been labeled and returns the same
+// Result shape Label produces.
+func (t *ServeTicket) Wait() *Result {
+	res := t.inner.Wait()
+	return t.sys.buildResult(res.Image, sim.SerialResult{
+		Executed: res.Executed,
+		TimeMS:   res.ScheduleMS,
+		Recall:   res.Recall,
+	})
+}
+
+// NewServer starts a concurrent labeling server driven by the agent.
+func (s *System) NewServer(agent *Agent, cfg ServeConfig) (*Server, error) {
+	if agent == nil {
+		return nil, fmt.Errorf("ams: nil agent")
+	}
+	inner, err := serve.New(s.testStore, s.deadlineFactory(agent), serve.Config{
+		Config: service.Config{
+			Workers:     cfg.Workers,
+			DeadlineSec: cfg.DeadlineSec,
+		},
+		QueueCap:       cfg.QueueCap,
+		MemoryBudgetMB: cfg.MemoryGB * 1024,
+		TimeScale:      cfg.TimeScale,
+		StatsWindow:    cfg.StatsWindow,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("ams: %w", err)
+	}
+	return &Server{sys: s, inner: inner}, nil
+}
+
+// Submit admits one held-out image without blocking; ErrQueueFull means
+// the server is saturated and the caller should back off.
+func (sv *Server) Submit(image int) (*ServeTicket, error) {
+	tk, err := sv.inner.Submit(image)
+	if err != nil {
+		return nil, err
+	}
+	return &ServeTicket{sys: sv.sys, inner: tk}, nil
+}
+
+// SubmitWait admits one image, blocking under backpressure until space
+// frees or the context is cancelled.
+func (sv *Server) SubmitWait(ctx context.Context, image int) (*ServeTicket, error) {
+	tk, err := sv.inner.SubmitWait(ctx, image)
+	if err != nil {
+		return nil, err
+	}
+	return &ServeTicket{sys: sv.sys, inner: tk}, nil
+}
+
+// Stats summarizes the items completed so far.
+func (sv *Server) Stats() ServeStats { return fromRunStats(sv.inner.Stats()) }
+
+// Close stops admission, drains the queue, and waits for in-flight items.
+func (sv *Server) Close() error { return sv.inner.Close() }
+
+// Serve replays a Poisson arrival trace through a fresh server and
+// returns its statistics — the real-time counterpart of SimulateServe.
+func (s *System) Serve(agent *Agent, cfg ServeConfig, trace ServeTrace) (ServeStats, error) {
+	if agent == nil {
+		return ServeStats{}, fmt.Errorf("ams: nil agent")
+	}
+	rs, err := serve.Replay(s.testStore, s.deadlineFactory(agent), serve.Config{
+		Config:         s.traceConfig(cfg, trace),
+		QueueCap:       cfg.QueueCap,
+		MemoryBudgetMB: cfg.MemoryGB * 1024,
+		TimeScale:      cfg.TimeScale,
+		StatsWindow:    cfg.StatsWindow,
+	})
+	if err != nil {
+		return ServeStats{}, fmt.Errorf("ams: %w", err)
+	}
+	return fromRunStats(rs), nil
+}
+
+// SimulateServe runs the virtual-time discrete-event simulation of the
+// same workload — same Config and policy wiring as Serve, no real
+// concurrency or sleeping — so the two can be compared side by side.
+// The memory budget and queue bound do not apply: the sim models an
+// unbounded FIFO queue with serial per-item execution.
+func (s *System) SimulateServe(agent *Agent, cfg ServeConfig, trace ServeTrace) (ServeStats, error) {
+	if agent == nil {
+		return ServeStats{}, fmt.Errorf("ams: nil agent")
+	}
+	svcCfg := s.traceConfig(cfg, trace)
+	if svcCfg.Workers <= 0 {
+		return ServeStats{}, fmt.Errorf("ams: need at least one worker, got %d", svcCfg.Workers)
+	}
+	if svcCfg.ArrivalRateHz <= 0 || svcCfg.DeadlineSec <= 0 || svcCfg.Items <= 0 {
+		return ServeStats{}, fmt.Errorf("ams: invalid serve trace %+v", svcCfg)
+	}
+	st := service.Run(s.testStore, s.deadlineFactory(agent), svcCfg)
+	return fromRunStats(serve.RunStats{Stats: st, Completed: int64(st.Items)}), nil
+}
+
+// traceConfig merges the server and trace parameters into the shared
+// service.Config.
+func (s *System) traceConfig(cfg ServeConfig, trace ServeTrace) service.Config {
+	return service.Config{
+		Workers:       cfg.Workers,
+		ArrivalRateHz: trace.ArrivalRateHz,
+		DeadlineSec:   cfg.DeadlineSec,
+		Items:         trace.Items,
+		Seed:          trace.Seed,
+	}
+}
+
+// deadlineFactory builds the per-worker policy: a private clone of the
+// agent's network (LabelBatch's cloning rule) driving Algorithm 1's
+// cost-aware Q-greedy policy.
+func (s *System) deadlineFactory(agent *Agent) service.PolicyFactory {
+	return func(worker int) sim.DeadlinePolicy {
+		return sched.NewCostQGreedy(agent.cloneInner(), s.Zoo)
+	}
+}
+
+func fromRunStats(rs serve.RunStats) ServeStats {
+	return ServeStats{
+		Items:           rs.Items,
+		Completed:       rs.Completed,
+		AvgQueueWaitSec: rs.AvgQueueWaitSec,
+		AvgLatencySec:   rs.AvgLatencySec,
+		P95LatencySec:   rs.P95LatencySec,
+		AvgRecall:       rs.AvgRecall,
+		ThroughputHz:    rs.ThroughputHz,
+		Utilization:     rs.Utilization,
+		HorizonSec:      rs.HorizonSec,
+		PeakMemMB:       rs.PeakMemMB,
+		MemWaits:        rs.MemWaits,
+		Rejected:        rs.Rejected,
+	}
+}

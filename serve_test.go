@@ -1,0 +1,191 @@
+package ams
+
+import (
+	"context"
+	"errors"
+	"math"
+	"sync"
+	"testing"
+)
+
+// serveCfg is the shared fast-clock server configuration: a millisecond
+// of model time sleeps a microsecond.
+func serveCfg(workers int) ServeConfig {
+	return ServeConfig{Workers: workers, DeadlineSec: 0.5, TimeScale: 0.001}
+}
+
+func TestServerLabelsLikeLabel(t *testing.T) {
+	srv, err := testSys.NewServer(testAgent, serveCfg(2))
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	tk, err := srv.Submit(3)
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	got := tk.Wait()
+	if err := srv.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	// The server's per-item schedule is the same Algorithm-1 loop Label
+	// runs, so an uncontended item must reproduce Label exactly.
+	want, err := testSys.Label(testAgent, 3, Budget{DeadlineSec: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Recall != want.Recall || got.TimeSec != want.TimeSec ||
+		len(got.ModelsRun) != len(want.ModelsRun) {
+		t.Fatalf("server result diverges from Label: %+v vs %+v", got, want)
+	}
+	for i := range got.ModelsRun {
+		if got.ModelsRun[i] != want.ModelsRun[i] {
+			t.Fatalf("schedule diverges at %d: %v vs %v", i, got.ModelsRun, want.ModelsRun)
+		}
+	}
+}
+
+// TestServerConcurrentSubmits hammers one server from many goroutines
+// under a shared memory budget — the public-API race test.
+func TestServerConcurrentSubmits(t *testing.T) {
+	cfg := serveCfg(4)
+	cfg.MemoryGB = 8 // 8192 MB shared across 4 workers forces contention
+	cfg.QueueCap = 8
+	srv, err := testSys.NewServer(testAgent, cfg)
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	const (
+		goroutines = 6
+		perG       = 20
+	)
+	var wg sync.WaitGroup
+	results := make([][]*Result, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				img := (g*perG + i) % testSys.NumTestImages()
+				tk, err := srv.SubmitWait(context.Background(), img)
+				if err != nil {
+					t.Errorf("submit: %v", err)
+					return
+				}
+				results[g] = append(results[g], tk.Wait())
+			}
+		}(g)
+	}
+	wg.Wait()
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	stats := srv.Stats()
+	if stats.Items != goroutines*perG {
+		t.Fatalf("completed %d items, want %d", stats.Items, goroutines*perG)
+	}
+	if stats.Completed != int64(goroutines*perG) {
+		t.Fatalf("total completions %d, want %d", stats.Completed, goroutines*perG)
+	}
+	if stats.PeakMemMB <= 0 || stats.PeakMemMB > 8*1024+1e-9 {
+		t.Fatalf("peak memory %v MB outside (0, 8192]", stats.PeakMemMB)
+	}
+	for _, rs := range results {
+		for _, r := range rs {
+			if r.Recall < 0 || r.Recall > 1+1e-9 || r.TimeSec > 0.5+1e-9 {
+				t.Fatalf("bad result %+v", r)
+			}
+		}
+	}
+}
+
+// TestServeMatchesSimulateServe is the sim-vs-real parity check: the
+// per-item schedules are deterministic and both paths cycle the same
+// images, so average recall must agree to float precision even though
+// one run is real concurrent execution and the other is virtual time.
+func TestServeMatchesSimulateServe(t *testing.T) {
+	cfg := serveCfg(2)
+	trace := ServeTrace{ArrivalRateHz: 1000, Items: 40, Seed: 5}
+	real, err := testSys.Serve(testAgent, cfg, trace)
+	if err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+	sim, err := testSys.SimulateServe(testAgent, cfg, trace)
+	if err != nil {
+		t.Fatalf("SimulateServe: %v", err)
+	}
+	if real.Items != sim.Items {
+		t.Fatalf("items %d vs %d", real.Items, sim.Items)
+	}
+	if math.Abs(real.AvgRecall-sim.AvgRecall) > 1e-9 {
+		t.Fatalf("real recall %v diverges from sim %v", real.AvgRecall, sim.AvgRecall)
+	}
+	if real.ThroughputHz <= 0 || sim.ThroughputHz <= 0 {
+		t.Fatalf("throughput %v / %v", real.ThroughputHz, sim.ThroughputHz)
+	}
+}
+
+func TestServeAdmissionValidation(t *testing.T) {
+	trace := ServeTrace{ArrivalRateHz: 100, Items: 5, Seed: 1}
+	for _, tc := range []struct {
+		name string
+		cfg  ServeConfig
+	}{
+		{"zero workers", ServeConfig{Workers: 0, DeadlineSec: 0.5, TimeScale: 0.001}},
+		{"no deadline", ServeConfig{Workers: 2, DeadlineSec: 0, TimeScale: 0.001}},
+		{"exhausted memory budget", ServeConfig{Workers: 2, DeadlineSec: 0.5, MemoryGB: 0.1, TimeScale: 0.001}},
+		{"negative queue", ServeConfig{Workers: 2, DeadlineSec: 0.5, QueueCap: -1, TimeScale: 0.001}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := testSys.NewServer(testAgent, tc.cfg); err == nil {
+				t.Fatalf("NewServer accepted %+v", tc.cfg)
+			}
+			if _, err := testSys.Serve(testAgent, tc.cfg, trace); err == nil {
+				t.Fatalf("Serve accepted %+v", tc.cfg)
+			}
+		})
+	}
+	if _, err := testSys.NewServer(nil, serveCfg(1)); err == nil {
+		t.Fatal("nil agent accepted")
+	}
+	if _, err := testSys.Serve(nil, serveCfg(1), trace); err == nil {
+		t.Fatal("nil agent accepted by Serve")
+	}
+	if _, err := testSys.SimulateServe(nil, serveCfg(1), trace); err == nil {
+		t.Fatal("nil agent accepted by SimulateServe")
+	}
+	if _, err := testSys.SimulateServe(testAgent, serveCfg(0), trace); err == nil {
+		t.Fatal("zero workers accepted by SimulateServe")
+	}
+	if _, err := testSys.SimulateServe(testAgent, serveCfg(1), ServeTrace{}); err == nil {
+		t.Fatal("empty trace accepted by SimulateServe")
+	}
+}
+
+func TestServerQueueFullSurfacesBackpressure(t *testing.T) {
+	cfg := ServeConfig{Workers: 1, DeadlineSec: 0.5, QueueCap: 1, TimeScale: 0.05}
+	srv, err := testSys.NewServer(testAgent, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	// Flood a one-worker, one-slot server: with each item occupying the
+	// worker for ~25 ms of wall clock, a burst of submits must hit the
+	// bounded queue.
+	var sawFull bool
+	for i := 0; i < 10; i++ {
+		_, err := srv.Submit(3) // image 3 runs a non-empty schedule (see above)
+		if errors.Is(err, ErrQueueFull) {
+			sawFull = true
+			break
+		}
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+	if !sawFull {
+		t.Fatal("bounded queue never rejected under a flood")
+	}
+	if srv.Stats().Rejected == 0 {
+		t.Fatal("rejected counter not incremented")
+	}
+}

@@ -1,0 +1,46 @@
+package ams
+
+import "testing"
+
+// TestLabelChunkedStreamValidation is the table-driven edge-case sweep
+// of the stream entry point's argument checking.
+func TestLabelChunkedStreamValidation(t *testing.T) {
+	for _, tc := range []struct {
+		name      string
+		numImages int
+		chunkLen  int
+		exploreN  int
+		wantErr   bool
+	}{
+		{"zero chunk length", 100, 0, 1, true},
+		{"negative chunk length", 100, -5, 1, true},
+		{"stream shorter than a chunk", 5, 10, 1, true},
+		{"zero explore", 100, 10, 0, true},
+		{"negative explore", 100, 10, -1, true},
+		{"explore beyond chunk", 100, 10, 11, true},
+		{"negative stream length", -1, 10, 1, true},
+		{"explore equals chunk", 150, 10, 10, false},
+		{"single-image chunks", 150, 1, 1, false},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			res, err := testSys.LabelChunkedStream(tc.numImages, tc.chunkLen, tc.exploreN)
+			if tc.wantErr {
+				if err == nil {
+					t.Fatalf("LabelChunkedStream(%d, %d, %d) accepted",
+						tc.numImages, tc.chunkLen, tc.exploreN)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("LabelChunkedStream(%d, %d, %d): %v",
+					tc.numImages, tc.chunkLen, tc.exploreN, err)
+			}
+			if res.Images != tc.numImages {
+				t.Fatalf("labeled %d images, want %d", res.Images, tc.numImages)
+			}
+			if res.AvgRecall <= 0 || res.AvgRecall > 1 {
+				t.Fatalf("recall %v out of range", res.AvgRecall)
+			}
+		})
+	}
+}
