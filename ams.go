@@ -16,10 +16,17 @@
 //	res, err := sys.Label(agent, 0, ams.Budget{DeadlineSec: 0.5})
 //	for _, l := range res.Labels { fmt.Println(l.Name, l.Confidence) }
 //
+// Scheduling policies are first-class: Label uses DefaultPolicy for the
+// budget shape, while LabelWith, LabelBatchWith and ServeConfig.Policy
+// accept any registry policy (PolicyByName: "algorithm1", "algorithm2",
+// "qgreedy", "random"). All of them implement one constraint-carrying
+// contract, so the same policy runs under the serial, deadline,
+// parallel, and real-server executors alike.
+//
 // The model zoo and datasets are the library's built-in simulation
 // substrate: thirty models across ten visual tasks whose time/memory
 // costs and content-dependent outputs mirror the paper's deployment (see
-// DESIGN.md for the substitution rationale).
+// DESIGN.md for the substitution rationale and the policy architecture).
 package ams
 
 import (

@@ -4,9 +4,6 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
-
-	"ams/internal/sched"
-	"ams/internal/sim"
 )
 
 // BatchStats aggregates a LabelBatch run.
@@ -17,22 +14,29 @@ type BatchStats struct {
 }
 
 // LabelBatch labels many held-out images concurrently with worker
-// goroutines. The agent's network is cloned per worker (a forward pass
-// caches activations, so a single network must not be shared), while the
-// precomputed ground truth is shared read-only. Results are returned in
-// the order of the images slice.
+// goroutines under DefaultPolicy(b) — the same policy Label would pick.
+// See LabelBatchWith for an explicit policy.
 func (s *System) LabelBatch(agent *Agent, images []int, b Budget, workers int) ([]*Result, BatchStats, error) {
 	if agent == nil {
 		return nil, BatchStats{}, fmt.Errorf("ams: nil agent")
 	}
-	for _, img := range images {
-		if img < 0 || img >= s.testStore.NumScenes() {
-			return nil, BatchStats{}, fmt.Errorf("ams: image %d out of range [0,%d)",
-				img, s.testStore.NumScenes())
-		}
+	return s.LabelBatchWith(DefaultPolicy(b), agent, images, b, workers)
+}
+
+// LabelBatchWith labels many held-out images concurrently with worker
+// goroutines, each running the given policy. Policies are instantiated
+// once per worker, so the agent's network is cloned per worker (a
+// forward pass caches activations, so a single network must not be
+// shared), while the precomputed ground truth is shared read-only.
+// Results are returned in the order of the images slice.
+func (s *System) LabelBatchWith(policy Policy, agent *Agent, images []int, b Budget, workers int) ([]*Result, BatchStats, error) {
+	if err := b.Validate(); err != nil {
+		return nil, BatchStats{}, err
 	}
-	if b.MemoryGB > 0 && b.DeadlineSec <= 0 {
-		return nil, BatchStats{}, fmt.Errorf("ams: a memory budget requires a deadline")
+	for _, img := range images {
+		if err := s.checkImage(img); err != nil {
+			return nil, BatchStats{}, err
+		}
 	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -43,36 +47,29 @@ func (s *System) LabelBatch(agent *Agent, images []int, b Budget, workers int) (
 	if workers == 0 {
 		return nil, BatchStats{}, nil
 	}
+	// Validate eagerly so configuration errors surface before any
+	// goroutine starts.
+	if err := policy.check(agent); err != nil {
+		return nil, BatchStats{}, err
+	}
 
 	results := make([]*Result, len(images))
 	jobs := make(chan int) // index into images
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
-			// Per-worker private network clone.
-			private := agent.cloneInner()
+			// Per-worker private policy (and agent clone).
+			private, err := policy.instantiate(s, agent, uint64(w))
+			if err != nil {
+				return // unreachable: validated above
+			}
 			for idx := range jobs {
 				img := images[idx]
-				var res sim.SerialResult
-				switch {
-				case b.MemoryGB > 0:
-					pr := sim.RunParallel(s.testStore, img,
-						sched.NewMemoryPacker(private, s.Zoo),
-						b.DeadlineSec*1000, b.MemoryGB*1024)
-					res = sim.SerialResult{Executed: pr.Executed,
-						TimeMS: pr.MakespanMS, Recall: pr.Recall}
-				case b.DeadlineSec > 0:
-					res = sim.RunDeadline(s.testStore, img,
-						sched.NewCostQGreedy(private, s.Zoo), b.DeadlineSec*1000)
-				default:
-					res = sim.RunToRecall(s.testStore, img,
-						sched.NewQGreedyOrder(private, private.NumModels), 1.0)
-				}
-				results[idx] = s.buildResult(img, res)
+				results[idx] = s.buildResult(img, s.runSchedule(img, private, b))
 			}
-		}()
+		}(w)
 	}
 	for idx := range images {
 		jobs <- idx

@@ -2,10 +2,15 @@
 // adaptive-model-scheduling agent under a deadline (and optional memory)
 // budget, printing the emitted labels per image.
 //
+// The scheduling policy defaults to the paper's algorithm for the
+// budget shape (Algorithm 1 under a deadline, Algorithm 2 with memory,
+// Q-greedy unconstrained) and can be forced with -policy.
+//
 // Usage:
 //
 //	amslabel -dataset MirFlickr25 -n 5 -deadline 0.5
 //	amslabel -agent agent.gob -deadline 0.8 -memory 8
+//	amslabel -deadline 0.5 -policy random
 package main
 
 import (
@@ -18,14 +23,15 @@ import (
 
 func main() {
 	var (
-		dataset   = flag.String("dataset", ams.DatasetMirFlickr, "dataset profile")
-		images    = flag.Int("images", 500, "images to generate")
-		n         = flag.Int("n", 5, "test images to label")
-		seed      = flag.Uint64("seed", 1, "determinism seed")
-		agentPath = flag.String("agent", "", "trained agent file (trains a quick agent when empty)")
-		deadline  = flag.Float64("deadline", 0.5, "per-image deadline in seconds (0 = none)")
-		memory    = flag.Float64("memory", 0, "GPU memory budget in GB (0 = serial)")
-		epochs    = flag.Int("epochs", 8, "epochs for the quick agent when -agent is empty")
+		dataset    = flag.String("dataset", ams.DatasetMirFlickr, "dataset profile")
+		images     = flag.Int("images", 500, "images to generate")
+		n          = flag.Int("n", 5, "test images to label")
+		seed       = flag.Uint64("seed", 1, "determinism seed")
+		agentPath  = flag.String("agent", "", "trained agent file (trains a quick agent when empty)")
+		deadline   = flag.Float64("deadline", 0.5, "per-image deadline in seconds (0 = none)")
+		memory     = flag.Float64("memory", 0, "GPU memory budget in GB (0 = serial)")
+		epochs     = flag.Int("epochs", 8, "epochs for the quick agent when -agent is empty")
+		policyName = flag.String("policy", "", "scheduling policy (algorithm1, algorithm2, qgreedy, random); empty = the budget's default")
 	)
 	flag.Parse()
 
@@ -51,12 +57,21 @@ func main() {
 	}
 
 	budget := ams.Budget{DeadlineSec: *deadline, MemoryGB: *memory}
+	policy := ams.DefaultPolicy(budget)
+	if *policyName != "" {
+		policy, err = ams.PolicyByName(*policyName)
+		if err != nil {
+			log.Fatalf("amslabel: %v", err)
+		}
+	}
+	policy = policy.WithSeed(*seed)
+	fmt.Printf("scheduling with policy %s\n", policy.Name())
 	if *n > sys.NumTestImages() {
 		*n = sys.NumTestImages()
 	}
 	var recallSum, timeSum float64
 	for i := 0; i < *n; i++ {
-		res, err := sys.Label(agent, i, budget)
+		res, err := sys.LabelWith(policy, agent, i, budget)
 		if err != nil {
 			log.Fatalf("amslabel: %v", err)
 		}

@@ -14,10 +14,18 @@
 // is NOT scaled, so very small timescales magnify it relative to model
 // time and inflate the reported latencies.
 //
+// The per-worker scheduling policy is pluggable (-policy): algorithm1
+// (the default serial cost-aware Q-greedy), qgreedy, random, or
+// algorithm2, which requires -memory and switches the server into
+// per-item parallel mode — one item's models run concurrently across
+// the pool under the shared accountant, matching sim.RunParallel
+// semantics.
+//
 // Usage:
 //
 //	amsserve -workers 4 -rate 3 -items 200 -deadline 0.5
 //	amsserve -workers 4 -memory 8 -compare
+//	amsserve -workers 4 -memory 8 -policy algorithm2
 //	amsserve -agent agent.gob -timescale 1 -rate 1 -items 30
 package main
 
@@ -37,11 +45,12 @@ func main() {
 		agentPath = flag.String("agent", "", "trained agent file (trains a quick agent when empty)")
 		epochs    = flag.Int("epochs", 8, "epochs for the quick agent when -agent is empty")
 
-		workers   = flag.Int("workers", 4, "concurrent labeling workers")
-		deadline  = flag.Float64("deadline", 0.5, "per-item deadline in seconds")
-		memory    = flag.Float64("memory", 0, "global GPU memory budget in GB shared by all workers (0 = unlimited)")
-		queueCap  = flag.Int("queue", 0, "admission queue bound (0 = 2*workers)")
-		timescale = flag.Float64("timescale", 0.05, "real seconds per simulated second of model time")
+		workers    = flag.Int("workers", 4, "concurrent labeling workers")
+		deadline   = flag.Float64("deadline", 0.5, "per-item deadline in seconds")
+		memory     = flag.Float64("memory", 0, "global GPU memory budget in GB shared by all workers (0 = unlimited)")
+		queueCap   = flag.Int("queue", 0, "admission queue bound (0 = 2*workers)")
+		timescale  = flag.Float64("timescale", 0.05, "real seconds per simulated second of model time")
+		policyName = flag.String("policy", "algorithm1", "scheduling policy: algorithm1, algorithm2 (needs -memory; per-item parallel), qgreedy, random")
 
 		rate    = flag.Int("rate", 4, "mean arrivals per simulated second (Poisson)")
 		items   = flag.Int("items", 200, "arrival trace length")
@@ -70,8 +79,13 @@ func main() {
 		}
 	}
 
+	policy, err := ams.PolicyByName(*policyName)
+	if err != nil {
+		log.Fatalf("amsserve: %v", err)
+	}
 	cfg := ams.ServeConfig{
 		Workers:     *workers,
+		Policy:      policy.WithSeed(*seed),
 		DeadlineSec: *deadline,
 		MemoryGB:    *memory,
 		QueueCap:    *queueCap,
@@ -79,8 +93,8 @@ func main() {
 	}
 	trace := ams.ServeTrace{ArrivalRateHz: float64(*rate), Items: *items, Seed: *seed}
 
-	fmt.Printf("\nserving %d items at %d/s with %d workers (deadline %.2fs, mem %.1f GB, timescale %g)\n",
-		*items, *rate, *workers, *deadline, *memory, *timescale)
+	fmt.Printf("\nserving %d items at %d/s with %d workers (policy %s, deadline %.2fs, mem %.1f GB, timescale %g)\n",
+		*items, *rate, *workers, policy.Name(), *deadline, *memory, *timescale)
 	real, err := sys.Serve(agent, cfg, trace)
 	if err != nil {
 		log.Fatalf("amsserve: %v", err)
@@ -111,4 +125,9 @@ func printStats(name string, s ams.ServeStats) {
 	fmt.Printf("  %-18s %8.2f /s\n", "throughput", s.ThroughputHz)
 	fmt.Printf("  %-18s %8.1f %%\n", "utilization", 100*s.Utilization)
 	fmt.Printf("  %-18s %8.2f s\n", "horizon", s.HorizonSec)
+	if s.AvgSelectSec > 0 {
+		// Real (unscaled) CPU time inside the policy per item — the
+		// paper's Table III selection overhead.
+		fmt.Printf("  %-18s %8.3f ms (real, unscaled)\n", "avg select/item", s.AvgSelectSec*1000)
+	}
 }

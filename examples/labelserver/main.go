@@ -28,9 +28,12 @@ func main() {
 	}
 
 	// A 4-worker server sharing a 6 GB GPU budget, replayed at 1000x
-	// real-time so the example finishes instantly.
+	// real-time so the example finishes instantly. ServeConfig.Policy
+	// picks the per-worker scheduler; ams.PolicyAlgorithm2 would instead
+	// run each item's models in parallel across the pool.
 	srv, err := sys.NewServer(agent, ams.ServeConfig{
 		Workers:     4,
+		Policy:      ams.PolicyAlgorithm1,
 		DeadlineSec: 0.5,
 		MemoryGB:    6,
 		QueueCap:    8,

@@ -95,9 +95,9 @@ func TestTrainProducesUsefulAgent(t *testing.T) {
 	var agentN, randN int
 	for i := 0; i < testStore.NumScenes(); i++ {
 		agentN += len(sim.RunToRecall(testStore, i,
-			sched.NewQGreedyOrder(agent, agent.NumModels), 1.0).Executed)
+			sched.NewQGreedy(agent, z), 1.0).Executed)
 		randN += len(sim.RunToRecall(testStore, i,
-			sched.NewRandomOrder(rng), 1.0).Executed)
+			sched.NewRandom(z, rng), 1.0).Executed)
 	}
 	if agentN >= randN {
 		t.Fatalf("trained agent (%d executions) not better than random (%d)", agentN, randN)

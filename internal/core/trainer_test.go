@@ -69,7 +69,7 @@ func TestTrainerOnlineAdaptation(t *testing.T) {
 
 	evalTime := func(a *Agent) float64 {
 		var sum float64
-		p := sched.NewQGreedyOrder(a, a.NumModels)
+		p := sched.NewQGreedy(a, z)
 		for i := 0; i < testSet.NumScenes(); i++ {
 			sum += sim.RunToRecall(testSet, i, p, 1.0).TimeMS
 		}

@@ -53,7 +53,7 @@ func (l *Lab) AblationEND() AblationENDResult {
 
 	evalModels := func(a *core.Agent) float64 {
 		var sum float64
-		p := sched.NewQGreedyOrder(a, a.NumModels)
+		p := sched.NewQGreedy(a, l.Zoo)
 		for i := 0; i < test.NumScenes(); i++ {
 			sum += float64(len(sim.RunToRecall(test, i, p, 1.0).Executed))
 		}
@@ -159,7 +159,7 @@ func (l *Lab) AblationReward() AblationRewardResult {
 			Shape:  shape,
 			Seed:   l.seedFor("ablation-reward"),
 		})
-		p := sched.NewQGreedyOrder(agent, agent.NumModels)
+		p := sched.NewQGreedy(agent, l.Zoo)
 		var models, time float64
 		for i := 0; i < test.NumScenes(); i++ {
 			r := sim.RunToRecall(test, i, p, 1.0)
@@ -207,10 +207,10 @@ func (l *Lab) ExtGraph() GraphExtResult {
 	rng := tensor.NewRNG(l.seedFor("ext-graph"))
 	l.logf("extension: model-relationship graph policy")
 	sweep := l.sweep(DSMSCOCO, []namedOrderPolicy{
-		{name: "Graph", policy: graph.NewOrderPolicy(g)},
-		{name: "DuelingDQN", policy: sched.NewQGreedyOrder(agent, agent.NumModels)},
-		{name: "Random", policy: sched.NewRandomOrder(rng)},
-		{name: "Optimal", policy: sched.NewOptimalOrder(test)},
+		{name: "Graph", policy: graph.NewValuePolicy(g, l.Zoo)},
+		{name: "DuelingDQN", policy: sched.NewQGreedy(agent, l.Zoo)},
+		{name: "Random", policy: sched.NewRandom(l.Zoo, rng)},
+		{name: "Optimal", policy: sched.NewOptimal(test)},
 	})
 	names := make([]string, len(l.Zoo.Models))
 	for i, m := range l.Zoo.Models {

@@ -30,11 +30,11 @@ func (l *Lab) deadlineEval(dataset string, agent sched.Predictor, seedTag string
 	rng := tensor.NewRNG(l.seedFor("deadline/" + dataset + "/" + seedTag))
 	policies := []struct {
 		name string
-		p    sim.DeadlinePolicy
+		p    sim.Policy
 	}{
-		{"Q-Greedy", sched.NewQGreedyDeadline(agent, l.Zoo)},
+		{"Q-Greedy", sched.NewQGreedy(agent, l.Zoo)},
 		{"Cost-Q Greedy", sched.NewCostQGreedy(agent, l.Zoo)},
-		{"Random", sched.NewRandomDeadline(l.Zoo, rng)},
+		{"Random", sched.NewRandom(l.Zoo, rng)},
 	}
 	res := DeadlineResult{
 		Dataset:      dataset,
@@ -121,10 +121,10 @@ func (l *Lab) Fig12() Fig12Result {
 	for _, ds := range res.Datasets {
 		st := l.TestStore(ds)
 		rng := tensor.NewRNG(l.seedFor("fig12/" + ds))
-		policies := []sim.DeadlinePolicy{
+		policies := []sim.Policy{
 			sched.NewCostQGreedy(agent1, l.Zoo),
 			sched.NewCostQGreedy(agent2, l.Zoo),
-			sched.NewRandomDeadline(l.Zoo, rng),
+			sched.NewRandom(l.Zoo, rng),
 		}
 		recall := make([][]float64, 4)
 		for i := range recall {

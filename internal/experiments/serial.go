@@ -36,7 +36,7 @@ func (l *Lab) Fig2() Fig2Result {
 	for _, name := range SweepDatasets() {
 		st := l.FullStore(name)
 		total := l.Zoo.TotalTimeMS()
-		randPolicy := sched.NewRandomOrder(rng)
+		randPolicy := sched.NewRandom(l.Zoo, rng)
 		for i := 0; i < st.NumScenes(); i++ {
 			noPol = append(noPol, total/1000)
 			// Random: execute in random order until every valuable label
@@ -100,13 +100,13 @@ type trajPoint struct {
 
 // trajectory runs the policy to exhaustion on one scene and records the
 // cumulative (time, recall) after every execution.
-func trajectory(st *oracle.Store, scene int, p sim.OrderPolicy) []trajPoint {
+func trajectory(st *oracle.Store, scene int, p sim.Policy) []trajPoint {
 	p.Reset(scene)
 	t := oracle.NewTracker(st, scene)
 	pts := make([]trajPoint, 0, st.NumModels())
 	var cum float64
 	for t.ExecutedCount() < st.NumModels() {
-		m := p.Next(t)
+		m := p.Next(t, sim.Unconstrained())
 		if m < 0 {
 			break
 		}
@@ -137,7 +137,7 @@ func metricsAt(pts []trajPoint, threshold float64) (count int, timeMS float64) {
 // can instantiate fresh policies.
 type namedOrderPolicy struct {
 	name   string
-	policy sim.OrderPolicy
+	policy sim.Policy
 }
 
 // sweep evaluates order policies over every test scene of a dataset.
@@ -187,12 +187,12 @@ func (l *Lab) RecallSweep(dataset string) *SweepResult {
 		agent := l.Agent(algo, dataset)
 		policies = append(policies, namedOrderPolicy{
 			name:   algo.String(),
-			policy: sched.NewQGreedyOrder(agent, agent.NumModels),
+			policy: sched.NewQGreedy(agent, l.Zoo),
 		})
 	}
 	policies = append(policies,
-		namedOrderPolicy{name: "Random", policy: sched.NewRandomOrder(rng)},
-		namedOrderPolicy{name: "Optimal", policy: sched.NewOptimalOrder(st)},
+		namedOrderPolicy{name: "Random", policy: sched.NewRandom(l.Zoo, rng)},
+		namedOrderPolicy{name: "Optimal", policy: sched.NewOptimal(st)},
 	)
 	l.logf("sweeping %s (%d scenes, %d policies)", dataset, st.NumScenes(), len(policies))
 	r := l.sweep(dataset, policies)
@@ -257,10 +257,10 @@ func (l *Lab) Fig6() *SweepResult {
 	engine := rules.NewEngine(l.Vocab, l.Zoo, rules.TableII())
 	engine.EnableSiblingDemotion(0.4)
 	policies := []namedOrderPolicy{
-		{name: "Rule", policy: sched.NewRuleOrder(engine, l.Zoo, rng.Split())},
-		{name: "DuelingDQN", policy: sched.NewQGreedyOrder(agent, agent.NumModels)},
-		{name: "Random", policy: sched.NewRandomOrder(rng)},
-		{name: "Optimal", policy: sched.NewOptimalOrder(st)},
+		{name: "Rule", policy: sched.NewRule(engine, l.Zoo, rng.Split())},
+		{name: "DuelingDQN", policy: sched.NewQGreedy(agent, l.Zoo)},
+		{name: "Random", policy: sched.NewRandom(l.Zoo, rng)},
+		{name: "Optimal", policy: sched.NewOptimal(st)},
 	}
 	l.logf("fig6: rules vs agent on %s", dataset)
 	r := l.sweep(dataset, policies)
@@ -300,12 +300,12 @@ func (l *Lab) Fig7() Fig7Result {
 		}
 	}
 
-	policy := sched.NewQGreedyOrder(agent, agent.NumModels)
+	policy := sched.NewQGreedy(agent, l.Zoo)
 	policy.Reset(best)
 	t := oracle.NewTracker(st, best)
 	res := Fig7Result{Dataset: dataset, Scene: best}
 	for t.Recall() < 1-1e-9 && t.ExecutedCount() < st.NumModels() {
-		m := policy.Next(t)
+		m := policy.Next(t, sim.Unconstrained())
 		if m < 0 {
 			break
 		}
@@ -366,11 +366,11 @@ func (l *Lab) Fig8() Fig8Result {
 	}
 	for di, ds := range datasets {
 		st := l.TestStore(ds)
-		policies := []sim.OrderPolicy{
-			sched.NewQGreedyOrder(agent1, agent1.NumModels),
-			sched.NewQGreedyOrder(agent2, agent2.NumModels),
-			sched.NewRandomOrder(rng),
-			sched.NewOptimalOrder(st),
+		policies := []sim.Policy{
+			sched.NewQGreedy(agent1, l.Zoo),
+			sched.NewQGreedy(agent2, l.Zoo),
+			sched.NewRandom(l.Zoo, rng),
+			sched.NewOptimal(st),
 		}
 		for pi, p := range policies {
 			var times []float64
@@ -452,7 +452,7 @@ func (l *Lab) Fig9() Fig9Result {
 				thetaKey = fmt.Sprintf("%.0f", theta)
 			}
 			agent := l.AgentTheta(algo, dataset, thetaKey, thetaVec)
-			policy := sched.NewQGreedyOrder(agent, agent.NumModels)
+			policy := sched.NewQGreedy(agent, l.Zoo)
 			var orderSum, timeSum float64
 			for i := 0; i < st.NumScenes(); i++ {
 				pts := fullOrder(st, i, policy)
@@ -470,7 +470,7 @@ func (l *Lab) Fig9() Fig9Result {
 	// Random reference: expected position of a fixed model in a random
 	// permutation of 30 is (30+1)/2; measure it empirically anyway.
 	rng := tensor.NewRNG(l.seedFor("fig9-random"))
-	random := sched.NewRandomOrder(rng)
+	random := sched.NewRandom(l.Zoo, rng)
 	var orderSum, timeSum float64
 	for i := 0; i < st.NumScenes(); i++ {
 		pts := fullOrder(st, i, random)
@@ -485,12 +485,12 @@ func (l *Lab) Fig9() Fig9Result {
 
 // fullOrder runs the policy to exhaustion and returns the executed model
 // IDs in order.
-func fullOrder(st *oracle.Store, scene int, p sim.OrderPolicy) []int {
+func fullOrder(st *oracle.Store, scene int, p sim.Policy) []int {
 	p.Reset(scene)
 	t := oracle.NewTracker(st, scene)
 	var order []int
 	for t.ExecutedCount() < st.NumModels() {
-		m := p.Next(t)
+		m := p.Next(t, sim.Unconstrained())
 		if m < 0 {
 			break
 		}

@@ -57,11 +57,11 @@ func (l *Lab) ExtService() ServiceExtResult {
 		}
 		// service.Run is a single-threaded virtual-time loop, so sharing
 		// one agent network across the worker policies is safe.
-		agentStats := service.Run(st, func(int) sim.DeadlinePolicy {
+		agentStats := service.Run(st, func(int) sim.Policy {
 			return sched.NewCostQGreedy(agent, l.Zoo)
 		}, cfg)
-		randStats := service.Run(st, func(w int) sim.DeadlinePolicy {
-			return sched.NewRandomDeadline(l.Zoo, tensor.NewRNG(cfg.Seed+uint64(w)))
+		randStats := service.Run(st, func(w int) sim.Policy {
+			return sched.NewRandom(l.Zoo, tensor.NewRNG(cfg.Seed+uint64(w)))
 		}, cfg)
 		res.AgentRecall = append(res.AgentRecall, agentStats.AvgRecall)
 		res.RandomRecall = append(res.RandomRecall, randStats.AvgRecall)

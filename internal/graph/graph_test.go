@@ -143,8 +143,8 @@ func TestGraphPolicyBeatsRandom(t *testing.T) {
 	var graphN, randN int
 	var graphT, randT float64
 	for i := 0; i < testStore.NumScenes(); i++ {
-		gr := sim.RunToRecall(testStore, i, NewOrderPolicy(g), 1.0)
-		rr := sim.RunToRecall(testStore, i, sched.NewRandomOrder(rng), 1.0)
+		gr := sim.RunToRecall(testStore, i, NewValuePolicy(g, z), 1.0)
+		rr := sim.RunToRecall(testStore, i, sched.NewRandom(z, rng), 1.0)
 		graphN += len(gr.Executed)
 		randN += len(rr.Executed)
 		graphT += gr.TimeMS
@@ -165,8 +165,8 @@ func TestGraphDeadlinePolicyBeatsRandom(t *testing.T) {
 	var graphR, randR float64
 	const deadline = 800
 	for i := 0; i < testStore.NumScenes(); i++ {
-		graphR += sim.RunDeadline(testStore, i, NewDeadlinePolicy(g, z), deadline).Recall
-		randR += sim.RunDeadline(testStore, i, sched.NewRandomDeadline(z, rng), deadline).Recall
+		graphR += sim.RunDeadline(testStore, i, NewDensityPolicy(g, z), deadline).Recall
+		randR += sim.RunDeadline(testStore, i, sched.NewRandom(z, rng), deadline).Recall
 	}
 	if graphR <= randR {
 		t.Fatalf("graph deadline policy (%v) not above random (%v)", graphR, randR)
@@ -174,7 +174,7 @@ func TestGraphDeadlinePolicyBeatsRandom(t *testing.T) {
 }
 
 func TestDeadlinePolicyRespectsBudget(t *testing.T) {
-	p := NewDeadlinePolicy(g, z)
+	p := NewDensityPolicy(g, z)
 	res := sim.RunDeadline(store, 0, p, 300)
 	if res.TimeMS > 300+1e-9 {
 		t.Fatalf("deadline violated: %v", res.TimeMS)

@@ -2,92 +2,24 @@ package sched
 
 import (
 	"ams/internal/oracle"
-	"ams/internal/tensor"
+	"ams/internal/sim"
 	"ams/internal/zoo"
 )
 
-// --- Serial deadline policies (§VI-F) -----------------------------------
-
-// RandomDeadline randomly selects among the unexecuted models that still
-// fit in the remaining budget.
-type RandomDeadline struct {
-	z   *zoo.Zoo
-	rng *tensor.RNG
-}
-
-// NewRandomDeadline returns the random deadline baseline.
-func NewRandomDeadline(z *zoo.Zoo, rng *tensor.RNG) *RandomDeadline {
-	return &RandomDeadline{z: z, rng: rng}
-}
-
-// Name implements sim.DeadlinePolicy.
-func (p *RandomDeadline) Name() string { return "Random" }
-
-// Reset implements sim.DeadlinePolicy.
-func (p *RandomDeadline) Reset(int) {}
-
-// Next implements sim.DeadlinePolicy.
-func (p *RandomDeadline) Next(t *oracle.Tracker, remainingMS float64) int {
-	var feasible []int
-	for _, m := range t.Unexecuted() {
-		if p.z.Models[m].TimeMS <= remainingMS {
-			feasible = append(feasible, m)
-		}
-	}
-	if len(feasible) == 0 {
-		return -1
-	}
-	return feasible[p.rng.Intn(len(feasible))]
-}
-
-// Observe implements sim.DeadlinePolicy.
-func (p *RandomDeadline) Observe(int, zoo.Output) {}
-
-// QGreedyDeadline greedily picks the feasible model with the maximal Q
-// value until the deadline — the "Q Greedy" curve of Fig. 10.
-type QGreedyDeadline struct {
-	pred Predictor
-	z    *zoo.Zoo
-}
-
-// NewQGreedyDeadline returns the Q-greedy deadline policy.
-func NewQGreedyDeadline(pred Predictor, z *zoo.Zoo) *QGreedyDeadline {
-	return &QGreedyDeadline{pred: pred, z: z}
-}
-
-// Name implements sim.DeadlinePolicy.
-func (p *QGreedyDeadline) Name() string { return "Q-Greedy" }
-
-// Reset implements sim.DeadlinePolicy.
-func (p *QGreedyDeadline) Reset(int) {}
-
-// Next implements sim.DeadlinePolicy.
-func (p *QGreedyDeadline) Next(t *oracle.Tracker, remainingMS float64) int {
-	q := p.pred.Predict(t.State())
-	best, bestQ := -1, 0.0
-	for _, m := range t.Unexecuted() {
-		if p.z.Models[m].TimeMS > remainingMS {
-			continue
-		}
-		if best < 0 || q[m] > bestQ {
-			best, bestQ = m, q[m]
-		}
-	}
-	return best
-}
-
-// Observe implements sim.DeadlinePolicy.
-func (p *QGreedyDeadline) Observe(int, zoo.Output) {}
+// --- Algorithm 1 (§VI-F) ------------------------------------------------
 
 // CostQGreedy is Algorithm 1: at each iteration filter the models that no
 // longer fit in the budget and execute the one maximizing Q(m,d)/m.time.
 // When every remaining feasible model has a non-positive Q the ratio
 // ordering degenerates, so the policy falls back to plain argmax Q — the
 // least-bad action, mirroring how a Q/time ratio over positive values
-// behaves.
+// behaves. Feasibility covers both constraint dimensions, so under a
+// live memory cap the policy skips models that do not fit right now and
+// keeps scheduling the ones that do.
 type CostQGreedy struct {
 	pred Predictor
 	z    *zoo.Zoo
+	fly  flight
 }
 
 // NewCostQGreedy returns Algorithm 1.
@@ -95,24 +27,27 @@ func NewCostQGreedy(pred Predictor, z *zoo.Zoo) *CostQGreedy {
 	return &CostQGreedy{pred: pred, z: z}
 }
 
-// Name implements sim.DeadlinePolicy.
+// Name implements sim.Policy.
 func (p *CostQGreedy) Name() string { return "Cost-Q Greedy" }
 
-// Reset implements sim.DeadlinePolicy.
-func (p *CostQGreedy) Reset(int) {}
+// Reset implements sim.Policy.
+func (p *CostQGreedy) Reset(int) { p.fly.reset() }
 
-// Next implements sim.DeadlinePolicy.
-func (p *CostQGreedy) Next(t *oracle.Tracker, remainingMS float64) int {
+// Next implements sim.Policy.
+func (p *CostQGreedy) Next(t *oracle.Tracker, c sim.Constraints) int {
 	q := p.pred.Predict(t.State())
 	bestRatio, bestRatioM := 0.0, -1
 	bestQ, bestQM := 0.0, -1
 	for _, m := range t.Unexecuted() {
-		mt := p.z.Models[m].TimeMS
-		if mt > remainingMS {
+		if p.fly.has(m) {
+			continue
+		}
+		mod := p.z.Models[m]
+		if !c.Allows(mod) {
 			continue
 		}
 		if q[m] > 0 {
-			if ratio := q[m] / mt; bestRatioM < 0 || ratio > bestRatio {
+			if ratio := q[m] / mod.TimeMS; bestRatioM < 0 || ratio > bestRatio {
 				bestRatio, bestRatioM = ratio, m
 			}
 		}
@@ -120,14 +55,18 @@ func (p *CostQGreedy) Next(t *oracle.Tracker, remainingMS float64) int {
 			bestQ, bestQM = q[m], m
 		}
 	}
+	best := bestQM
 	if bestRatioM >= 0 {
-		return bestRatioM
+		best = bestRatioM
 	}
-	return bestQM
+	if best >= 0 {
+		p.fly.mark(best)
+	}
+	return best
 }
 
-// Observe implements sim.DeadlinePolicy.
-func (p *CostQGreedy) Observe(int, zoo.Output) {}
+// Observe implements sim.Policy.
+func (p *CostQGreedy) Observe(m int, _ zoo.Output) { p.fly.done(m) }
 
 // --- Relaxed optimal* upper bound (§V-C) --------------------------------
 

@@ -2,20 +2,29 @@ package sched
 
 import (
 	"ams/internal/oracle"
+	"ams/internal/sim"
 	"ams/internal/tensor"
 	"ams/internal/zoo"
 )
 
-// --- Parallel deadline+memory selectors (§VI-G, Algorithm 2) ------------
+// --- Parallel deadline+memory policies (§VI-G, Algorithm 2) -------------
 
-// MemoryPacker is Algorithm 2: at each scheduling point it first launches
-// the eligible model with the highest Q per unit resource area
-// (Q / (m.time * m.mem)), takes that model's completion as a temporary
-// deadline, then keeps launching models with the highest Q/m.mem ratio
-// that fit in the remaining memory and finish by the temporary deadline.
+// MemoryPacker is Algorithm 2: at each scheduling point (a completion,
+// or the start of the schedule) it first launches the eligible model
+// with the highest Q per unit resource area (Q / (m.time * m.mem)),
+// takes that model's completion as a temporary deadline, then keeps
+// launching models with the highest Q/m.mem ratio that fit in the
+// remaining memory and finish by the temporary deadline. Each Observe
+// opens a new scheduling point; within one point, successive Next calls
+// emit the anchor followed by its packed followers, declining when the
+// point's batch is complete.
 type MemoryPacker struct {
 	pred Predictor
 	z    *zoo.Zoo
+	fly  flight
+
+	packing   bool    // this scheduling point's anchor has launched
+	horizonMS float64 // anchor duration: followers must finish within it
 }
 
 // NewMemoryPacker returns Algorithm 2.
@@ -23,93 +32,101 @@ func NewMemoryPacker(pred Predictor, z *zoo.Zoo) *MemoryPacker {
 	return &MemoryPacker{pred: pred, z: z}
 }
 
-// Name implements sim.BatchSelector.
+// Name implements sim.Policy.
 func (p *MemoryPacker) Name() string { return "Agent" }
 
-// Reset implements sim.BatchSelector.
-func (p *MemoryPacker) Reset(int) {}
+// Reset implements sim.Policy.
+func (p *MemoryPacker) Reset(int) {
+	p.fly.reset()
+	p.packing = false
+}
 
-// SelectStart implements sim.BatchSelector.
-func (p *MemoryPacker) SelectStart(t *oracle.Tracker, running []int, availMemMB, nowMS, deadlineMS float64) []int {
+// Next implements sim.Policy.
+func (p *MemoryPacker) Next(t *oracle.Tracker, c sim.Constraints) int {
 	q := p.pred.Predict(t.State())
-	inFlight := toSet(running)
-
-	eligible := func(m int, mem, horizon float64) bool {
-		mod := p.z.Models[m]
-		return !t.Executed(m) && !inFlight[m] &&
-			mod.MemMB <= mem+1e-9 && nowMS+mod.TimeMS <= horizon+1e-9
-	}
-
-	// Anchor: highest value per resource area within the global deadline.
-	anchor, bestDensity := -1, 0.0
-	for _, m := range t.Unexecuted() {
-		if !eligible(m, availMemMB, deadlineMS) || q[m] <= 0 {
-			continue
+	if !p.packing {
+		// Anchor: highest value per resource area within the budgets.
+		anchor, bestDensity := -1, 0.0
+		for _, m := range t.Unexecuted() {
+			if p.fly.has(m) || q[m] <= 0 {
+				continue
+			}
+			mod := p.z.Models[m]
+			if !c.Allows(mod) {
+				continue
+			}
+			d := q[m] / (mod.TimeMS * mod.MemMB)
+			if anchor < 0 || d > bestDensity {
+				anchor, bestDensity = m, d
+			}
 		}
-		mod := p.z.Models[m]
-		d := q[m] / (mod.TimeMS * mod.MemMB)
-		if anchor < 0 || d > bestDensity {
-			anchor, bestDensity = m, d
+		if anchor >= 0 {
+			p.packing = true
+			p.horizonMS = p.z.Models[anchor].TimeMS
+			p.fly.mark(anchor)
+			return anchor
 		}
-	}
-	if anchor < 0 {
-		// No positive-value model fits; when the GPU is idle, fall back to
-		// the least-bad feasible model so the budget is not wasted.
-		if len(running) > 0 {
-			return nil
+		// No positive-value model fits; while something is running,
+		// wait for its completion. On an idle GPU, fall back to the
+		// least-bad feasible model so the budget is not wasted.
+		if p.fly.count() > 0 {
+			return -1
 		}
 		fallback, bestQ := -1, 0.0
 		for _, m := range t.Unexecuted() {
-			if !eligible(m, availMemMB, deadlineMS) {
+			if !c.Allows(p.z.Models[m]) {
 				continue
 			}
 			if fallback < 0 || q[m] > bestQ {
 				fallback, bestQ = m, q[m]
 			}
 		}
-		if fallback < 0 {
-			return nil
+		if fallback >= 0 {
+			p.packing = true
+			p.horizonMS = 0 // nothing packs behind a fallback
+			p.fly.mark(fallback)
 		}
-		return []int{fallback}
+		return fallback
 	}
-
-	starts := []int{anchor}
-	inFlight[anchor] = true
-	mem := availMemMB - p.z.Models[anchor].MemMB
-	tempDeadline := nowMS + p.z.Models[anchor].TimeMS
-
 	// Pack by Q/mem under the temporary deadline (Algorithm 2 lines 8-12).
-	for {
-		best, bestRatio := -1, 0.0
-		for _, m := range t.Unexecuted() {
-			if inFlight[m] || q[m] <= 0 {
-				continue
-			}
-			mod := p.z.Models[m]
-			if mod.MemMB > mem+1e-9 || nowMS+mod.TimeMS > tempDeadline+1e-9 {
-				continue
-			}
-			ratio := q[m] / mod.MemMB
-			if best < 0 || ratio > bestRatio {
-				best, bestRatio = m, ratio
-			}
+	best, bestRatio := -1, 0.0
+	for _, m := range t.Unexecuted() {
+		if p.fly.has(m) || q[m] <= 0 {
+			continue
 		}
-		if best < 0 {
-			break
+		mod := p.z.Models[m]
+		if mod.TimeMS > p.horizonMS+1e-9 || !c.Allows(mod) {
+			continue
 		}
-		starts = append(starts, best)
-		inFlight[best] = true
-		mem -= p.z.Models[best].MemMB
+		ratio := q[m] / mod.MemMB
+		if best < 0 || ratio > bestRatio {
+			best, bestRatio = m, ratio
+		}
 	}
-	return starts
+	if best >= 0 {
+		p.fly.mark(best)
+	}
+	return best
+}
+
+// Observe implements sim.Policy: a completion opens the next scheduling
+// point, so the anchor selection runs again.
+func (p *MemoryPacker) Observe(m int, _ zoo.Output) {
+	p.fly.done(m)
+	p.packing = false
 }
 
 // RandomPacker is the random baseline of §VI-G: it launches randomly
 // chosen models that fit in memory and finish by the deadline, keeping
-// the GPU packed.
+// the GPU packed. One shuffle is drawn per scheduling point and consumed
+// across that point's launches.
 type RandomPacker struct {
 	z   *zoo.Zoo
 	rng *tensor.RNG
+	fly flight
+
+	order []int // this scheduling point's shuffled candidates
+	drawn bool
 }
 
 // NewRandomPacker returns the random deadline+memory baseline.
@@ -117,38 +134,34 @@ func NewRandomPacker(z *zoo.Zoo, rng *tensor.RNG) *RandomPacker {
 	return &RandomPacker{z: z, rng: rng}
 }
 
-// Name implements sim.BatchSelector.
+// Name implements sim.Policy.
 func (p *RandomPacker) Name() string { return "Random" }
 
-// Reset implements sim.BatchSelector.
-func (p *RandomPacker) Reset(int) {}
-
-// SelectStart implements sim.BatchSelector.
-func (p *RandomPacker) SelectStart(t *oracle.Tracker, running []int, availMemMB, nowMS, deadlineMS float64) []int {
-	inFlight := toSet(running)
-	mem := availMemMB
-	var starts []int
-	candidates := t.Unexecuted()
-	p.rng.Shuffle(candidates)
-	for _, m := range candidates {
-		if inFlight[m] {
-			continue
-		}
-		mod := p.z.Models[m]
-		if mod.MemMB > mem+1e-9 || nowMS+mod.TimeMS > deadlineMS+1e-9 {
-			continue
-		}
-		starts = append(starts, m)
-		inFlight[m] = true
-		mem -= mod.MemMB
-	}
-	return starts
+// Reset implements sim.Policy.
+func (p *RandomPacker) Reset(int) {
+	p.fly.reset()
+	p.drawn = false
 }
 
-func toSet(xs []int) map[int]bool {
-	s := make(map[int]bool, len(xs))
-	for _, x := range xs {
-		s[x] = true
+// Next implements sim.Policy.
+func (p *RandomPacker) Next(t *oracle.Tracker, c sim.Constraints) int {
+	if !p.drawn {
+		p.order = t.Unexecuted()
+		p.rng.Shuffle(p.order)
+		p.drawn = true
 	}
-	return s
+	for _, m := range p.order {
+		if t.Executed(m) || p.fly.has(m) || !c.Allows(p.z.Models[m]) {
+			continue
+		}
+		p.fly.mark(m)
+		return m
+	}
+	return -1
+}
+
+// Observe implements sim.Policy.
+func (p *RandomPacker) Observe(m int, _ zoo.Output) {
+	p.fly.done(m)
+	p.drawn = false
 }

@@ -4,11 +4,17 @@
 // deadline), Algorithm 2 (deadline+memory batch packing), the relaxed
 // optimal* upper bounds of §V-C, and the explore–exploit policy for
 // chunked (video-like) streams sketched in the paper's introduction.
+//
+// Every policy implements the single sim.Policy contract: Next receives
+// the labeling state plus the sim.Constraints in force (remaining time,
+// available memory) and returns one model, so the same implementation
+// runs under the unconstrained, deadline, and parallel executors alike.
 package sched
 
 import (
 	"ams/internal/oracle"
 	"ams/internal/rules"
+	"ams/internal/sim"
 	"ams/internal/tensor"
 	"ams/internal/zoo"
 )
@@ -21,151 +27,200 @@ type Predictor interface {
 	Predict(state []int) []float64
 }
 
-// --- Unconstrained serial policies (recall-threshold experiments) -------
+// flight tracks the models a policy has returned whose completion has
+// not been observed yet. The parallel executor launches selections
+// immediately and reports completions later, so every policy keeps this
+// set to honor the contract's never-return-twice rule; under the serial
+// executors it is always empty.
+type flight struct{ m map[int]bool }
 
-// RandomOrder executes unexecuted models uniformly at random — the
-// paper's "random policy".
-type RandomOrder struct{ rng *tensor.RNG }
+func (f *flight) reset()         { f.m = nil }
+func (f *flight) has(m int) bool { return f.m[m] }
+func (f *flight) count() int     { return len(f.m) }
+func (f *flight) mark(m int) {
+	if f.m == nil {
+		f.m = make(map[int]bool)
+	}
+	f.m[m] = true
+}
+func (f *flight) done(m int) { delete(f.m, m) }
 
-// NewRandomOrder returns a random policy with its own RNG stream.
-func NewRandomOrder(rng *tensor.RNG) *RandomOrder { return &RandomOrder{rng: rng} }
+// --- Baseline and serial policies ---------------------------------------
 
-// Name implements sim.OrderPolicy.
-func (p *RandomOrder) Name() string { return "Random" }
+// Random executes a uniformly random feasible model — the paper's
+// "random policy", constraint-aware: only unexecuted models that fit the
+// remaining time and available memory are drawn.
+type Random struct {
+	z   *zoo.Zoo
+	rng *tensor.RNG
+	fly flight
+}
 
-// Reset implements sim.OrderPolicy.
-func (p *RandomOrder) Reset(int) {}
+// NewRandom returns a random policy with its own RNG stream.
+func NewRandom(z *zoo.Zoo, rng *tensor.RNG) *Random { return &Random{z: z, rng: rng} }
 
-// Next implements sim.OrderPolicy.
-func (p *RandomOrder) Next(t *oracle.Tracker) int {
-	un := t.Unexecuted()
-	if len(un) == 0 {
+// Name implements sim.Policy.
+func (p *Random) Name() string { return "Random" }
+
+// Reset implements sim.Policy.
+func (p *Random) Reset(int) { p.fly.reset() }
+
+// Next implements sim.Policy.
+func (p *Random) Next(t *oracle.Tracker, c sim.Constraints) int {
+	var feasible []int
+	for _, m := range t.Unexecuted() {
+		if p.fly.has(m) || !c.Allows(p.z.Models[m]) {
+			continue
+		}
+		feasible = append(feasible, m)
+	}
+	if len(feasible) == 0 {
 		return -1
 	}
-	return un[p.rng.Intn(len(un))]
+	m := feasible[p.rng.Intn(len(feasible))]
+	p.fly.mark(m)
+	return m
 }
 
-// Observe implements sim.OrderPolicy.
-func (p *RandomOrder) Observe(int, zoo.Output) {}
+// Observe implements sim.Policy.
+func (p *Random) Observe(m int, _ zoo.Output) { p.fly.done(m) }
 
-// OptimalOrder executes models in descending order of their true output
+// Optimal executes models in descending order of their true output
 // value — the paper's "optimal policy", which needs ground truth.
-type OptimalOrder struct {
+type Optimal struct {
 	st    *oracle.Store
 	order []int
-	pos   int
+	fly   flight
 }
 
-// NewOptimalOrder returns the optimal policy over the store.
-func NewOptimalOrder(st *oracle.Store) *OptimalOrder { return &OptimalOrder{st: st} }
+// NewOptimal returns the optimal policy over the store.
+func NewOptimal(st *oracle.Store) *Optimal { return &Optimal{st: st} }
 
-// Name implements sim.OrderPolicy.
-func (p *OptimalOrder) Name() string { return "Optimal" }
+// Name implements sim.Policy.
+func (p *Optimal) Name() string { return "Optimal" }
 
-// Reset implements sim.OrderPolicy.
-func (p *OptimalOrder) Reset(scene int) {
+// Reset implements sim.Policy.
+func (p *Optimal) Reset(scene int) {
 	p.order = p.st.OptimalOrder(scene)
-	p.pos = 0
+	p.fly.reset()
 }
 
-// Next implements sim.OrderPolicy.
-func (p *OptimalOrder) Next(t *oracle.Tracker) int {
-	for p.pos < len(p.order) {
-		m := p.order[p.pos]
-		p.pos++
-		if !t.Executed(m) {
-			return m
+// Next implements sim.Policy.
+func (p *Optimal) Next(t *oracle.Tracker, c sim.Constraints) int {
+	for _, m := range p.order {
+		if t.Executed(m) || p.fly.has(m) || !c.Allows(p.st.Zoo.Models[m]) {
+			continue
 		}
+		p.fly.mark(m)
+		return m
 	}
 	return -1
 }
 
-// Observe implements sim.OrderPolicy.
-func (p *OptimalOrder) Observe(int, zoo.Output) {}
+// Observe implements sim.Policy.
+func (p *Optimal) Observe(m int, _ zoo.Output) { p.fly.done(m) }
 
-// QGreedyOrder executes the unexecuted model with the maximal predicted
-// Q value — the paper's "Q-value greedy policy".
-type QGreedyOrder struct {
-	pred      Predictor
-	numModels int
+// QGreedy executes the feasible model with the maximal predicted Q
+// value — the paper's "Q-value greedy policy" ("Q Greedy" in Fig. 10
+// when a deadline is in force).
+type QGreedy struct {
+	pred Predictor
+	z    *zoo.Zoo
+	fly  flight
 }
 
-// NewQGreedyOrder returns a Q-greedy policy over numModels models.
-func NewQGreedyOrder(pred Predictor, numModels int) *QGreedyOrder {
-	return &QGreedyOrder{pred: pred, numModels: numModels}
+// NewQGreedy returns a Q-greedy policy over the zoo's models.
+func NewQGreedy(pred Predictor, z *zoo.Zoo) *QGreedy {
+	return &QGreedy{pred: pred, z: z}
 }
 
-// Name implements sim.OrderPolicy.
-func (p *QGreedyOrder) Name() string { return "Q-Greedy" }
+// Name implements sim.Policy.
+func (p *QGreedy) Name() string { return "Q-Greedy" }
 
-// Reset implements sim.OrderPolicy.
-func (p *QGreedyOrder) Reset(int) {}
+// Reset implements sim.Policy.
+func (p *QGreedy) Reset(int) { p.fly.reset() }
 
-// Next implements sim.OrderPolicy.
-func (p *QGreedyOrder) Next(t *oracle.Tracker) int {
+// Next implements sim.Policy.
+func (p *QGreedy) Next(t *oracle.Tracker, c sim.Constraints) int {
 	q := p.pred.Predict(t.State())
 	best, bestQ := -1, 0.0
-	for m := 0; m < p.numModels; m++ {
-		if t.Executed(m) {
+	for _, m := range t.Unexecuted() {
+		if p.fly.has(m) || !c.Allows(p.z.Models[m]) {
 			continue
 		}
 		if best < 0 || q[m] > bestQ {
 			best, bestQ = m, q[m]
 		}
 	}
+	if best >= 0 {
+		p.fly.mark(best)
+	}
 	return best
 }
 
-// Observe implements sim.OrderPolicy.
-func (p *QGreedyOrder) Observe(int, zoo.Output) {}
+// Observe implements sim.Policy.
+func (p *QGreedy) Observe(m int, _ zoo.Output) { p.fly.done(m) }
 
-// RuleOrder is the handcrafted-rule policy. Models start with equal
+// Rule is the handcrafted-rule policy. Models start with equal
 // weights; fired rules multiply their targets' weights. Selection takes a
 // uniformly random model among those with the current maximum weight, so
 // with no evidence the policy is the random baseline, and once a rule
 // fires its promoted models run immediately — without that sharpening the
 // trigger cascade (detector → pose → action) fires too late in a
 // 30-model pool to move the schedule at all.
-type RuleOrder struct {
+type Rule struct {
 	engine *rules.Engine
 	z      *zoo.Zoo
 	rng    *tensor.RNG
+	fly    flight
 }
 
-// NewRuleOrder returns the rule-based policy.
-func NewRuleOrder(engine *rules.Engine, z *zoo.Zoo, rng *tensor.RNG) *RuleOrder {
-	return &RuleOrder{engine: engine, z: z, rng: rng}
+// NewRule returns the rule-based policy.
+func NewRule(engine *rules.Engine, z *zoo.Zoo, rng *tensor.RNG) *Rule {
+	return &Rule{engine: engine, z: z, rng: rng}
 }
 
-// Name implements sim.OrderPolicy.
-func (p *RuleOrder) Name() string { return "Rule" }
+// Name implements sim.Policy.
+func (p *Rule) Name() string { return "Rule" }
 
-// Reset implements sim.OrderPolicy.
-func (p *RuleOrder) Reset(int) { p.engine.Reset() }
+// Reset implements sim.Policy.
+func (p *Rule) Reset(int) {
+	p.engine.Reset()
+	p.fly.reset()
+}
 
-// Next implements sim.OrderPolicy.
-func (p *RuleOrder) Next(t *oracle.Tracker) int {
-	un := t.Unexecuted()
-	if len(un) == 0 {
+// Next implements sim.Policy.
+func (p *Rule) Next(t *oracle.Tracker, c sim.Constraints) int {
+	var feasible []int
+	for _, m := range t.Unexecuted() {
+		if p.fly.has(m) || !c.Allows(p.z.Models[m]) {
+			continue
+		}
+		feasible = append(feasible, m)
+	}
+	if len(feasible) == 0 {
 		return -1
 	}
 	const eps = 1e-9
 	best := 0.0
-	for _, m := range un {
+	for _, m := range feasible {
 		if w := p.engine.Weight(m); w > best {
 			best = w
 		}
 	}
 	var top []int
-	for _, m := range un {
+	for _, m := range feasible {
 		if p.engine.Weight(m) >= best-eps {
 			top = append(top, m)
 		}
 	}
-	return top[p.rng.Intn(len(top))]
+	m := top[p.rng.Intn(len(top))]
+	p.fly.mark(m)
+	return m
 }
 
-// Observe implements sim.OrderPolicy.
-func (p *RuleOrder) Observe(m int, out zoo.Output) {
+// Observe implements sim.Policy.
+func (p *Rule) Observe(m int, out zoo.Output) {
+	p.fly.done(m)
 	p.engine.ObserveOutput(p.z.Models[m], out.Labels)
 }

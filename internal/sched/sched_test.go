@@ -38,7 +38,7 @@ func (p cheatPredictor) Predict([]int) []float64 {
 }
 
 func TestRandomOrderCoversAllModels(t *testing.T) {
-	p := NewRandomOrder(tensor.NewRNG(1))
+	p := NewRandom(z, tensor.NewRNG(1))
 	res := sim.RunToRecall(store, 0, p, 1.0)
 	if res.Recall < 1-1e-9 {
 		t.Fatalf("random policy never reached full recall: %v", res.Recall)
@@ -56,8 +56,8 @@ func TestOptimalBeatsRandomOnAverage(t *testing.T) {
 	rng := tensor.NewRNG(2)
 	var randomTime, optimalTime float64
 	for i := 0; i < store.NumScenes(); i++ {
-		randomTime += sim.RunToRecall(store, i, NewRandomOrder(rng), 1.0).TimeMS
-		optimalTime += sim.RunToRecall(store, i, NewOptimalOrder(store), 1.0).TimeMS
+		randomTime += sim.RunToRecall(store, i, NewRandom(z, rng), 1.0).TimeMS
+		optimalTime += sim.RunToRecall(store, i, NewOptimal(store), 1.0).TimeMS
 	}
 	if optimalTime >= randomTime {
 		t.Fatalf("optimal (%v) not faster than random (%v)", optimalTime, randomTime)
@@ -70,7 +70,7 @@ func TestOptimalBeatsRandomOnAverage(t *testing.T) {
 func TestOptimalOrderReachesThreshold(t *testing.T) {
 	for i := 0; i < 10; i++ {
 		for _, th := range []float64{0.2, 0.5, 0.8, 1.0} {
-			res := sim.RunToRecall(store, i, NewOptimalOrder(store), th)
+			res := sim.RunToRecall(store, i, NewOptimal(store), th)
 			if res.Recall < th-1e-9 {
 				t.Fatalf("scene %d: optimal recall %v below threshold %v", i, res.Recall, th)
 			}
@@ -84,8 +84,8 @@ func TestQGreedyWithCheatMatchesOptimalCount(t *testing.T) {
 	rng := tensor.NewRNG(3)
 	var cheatN, randN int
 	for i := 0; i < store.NumScenes(); i++ {
-		cheatN += len(sim.RunToRecall(store, i, NewQGreedyOrder(cheatPredictor{i}, store.NumModels()), 1.0).Executed)
-		randN += len(sim.RunToRecall(store, i, NewRandomOrder(rng), 1.0).Executed)
+		cheatN += len(sim.RunToRecall(store, i, NewQGreedy(cheatPredictor{i}, z), 1.0).Executed)
+		randN += len(sim.RunToRecall(store, i, NewRandom(z, rng), 1.0).Executed)
 	}
 	if cheatN >= randN {
 		t.Fatalf("cheating Q-greedy (%d) not better than random (%d)", cheatN, randN)
@@ -94,7 +94,7 @@ func TestQGreedyWithCheatMatchesOptimalCount(t *testing.T) {
 
 func TestRuleOrderValid(t *testing.T) {
 	engine := rules.NewEngine(vocab, z, rules.TableII())
-	p := NewRuleOrder(engine, z, tensor.NewRNG(5))
+	p := NewRule(engine, z, tensor.NewRNG(5))
 	for i := 0; i < 10; i++ {
 		res := sim.RunToRecall(store, i, p, 1.0)
 		if res.Recall < 1-1e-9 {
@@ -107,9 +107,9 @@ func TestRunDeadlineRespectsBudget(t *testing.T) {
 	rng := tensor.NewRNG(7)
 	for _, deadline := range []float64{100, 500, 1000, 3000} {
 		for i := 0; i < 10; i++ {
-			for _, p := range []sim.DeadlinePolicy{
-				NewRandomDeadline(z, rng),
-				NewQGreedyDeadline(cheatPredictor{i}, z),
+			for _, p := range []sim.Policy{
+				NewRandom(z, rng),
+				NewQGreedy(cheatPredictor{i}, z),
 				NewCostQGreedy(cheatPredictor{i}, z),
 			} {
 				res := sim.RunDeadline(store, i, p, deadline)
@@ -127,7 +127,7 @@ func TestCostQGreedyBeatsRandomUnderTightDeadline(t *testing.T) {
 	var costQ, random float64
 	for i := 0; i < store.NumScenes(); i++ {
 		costQ += sim.RunDeadline(store, i, NewCostQGreedy(cheatPredictor{i}, z), deadline).Recall
-		random += sim.RunDeadline(store, i, NewRandomDeadline(z, rng), deadline).Recall
+		random += sim.RunDeadline(store, i, NewRandom(z, rng), deadline).Recall
 	}
 	if costQ <= random {
 		t.Fatalf("cost-Q (%v) not better than random (%v) at 0.5 s", costQ, random)
@@ -142,12 +142,12 @@ func TestCostQGreedyPrefersDenseModel(t *testing.T) {
 	q[1] = 2.0 // objdet-accurate, 380 ms
 	p := NewCostQGreedy(fixedPredictor{q}, z)
 	tr := oracle.NewTracker(store, 0)
-	if got := p.Next(tr, 5000); got != 0 {
+	if got := p.Next(tr, sim.Constraints{RemainingMS: 5000}); got != 0 {
 		t.Fatalf("cost-Q picked %d, want the denser model 0", got)
 	}
 	// Plain Q-greedy picks the bigger Q.
-	g := NewQGreedyDeadline(fixedPredictor{q}, z)
-	if got := g.Next(tr, 5000); got != 1 {
+	g := NewQGreedy(fixedPredictor{q}, z)
+	if got := g.Next(tr, sim.Constraints{RemainingMS: 5000}); got != 1 {
 		t.Fatalf("Q-greedy picked %d, want 1", got)
 	}
 }
@@ -160,7 +160,7 @@ func TestCostQGreedyFallbackWhenAllNegative(t *testing.T) {
 	q[4] = -0.1 // least bad
 	p := NewCostQGreedy(fixedPredictor{q}, z)
 	tr := oracle.NewTracker(store, 0)
-	if got := p.Next(tr, 5000); got != 4 {
+	if got := p.Next(tr, sim.Constraints{RemainingMS: 5000}); got != 4 {
 		t.Fatalf("fallback picked %d, want 4", got)
 	}
 }
@@ -212,7 +212,7 @@ func TestParallelRespectsBudgets(t *testing.T) {
 	for i := 0; i < 15; i++ {
 		for _, mem := range []float64{8000, 12000} {
 			for _, d := range []float64{400, 800} {
-				for _, sel := range []sim.BatchSelector{
+				for _, sel := range []sim.Policy{
 					NewMemoryPacker(cheatPredictor{i}, z),
 					NewRandomPacker(z, rng),
 				} {
@@ -307,16 +307,192 @@ func TestRunToRecallThresholdValidation(t *testing.T) {
 			t.Fatal("invalid threshold did not panic")
 		}
 	}()
-	sim.RunToRecall(store, 0, NewRandomOrder(tensor.NewRNG(1)), 1.5)
+	sim.RunToRecall(store, 0, NewRandom(z, tensor.NewRNG(1)), 1.5)
 }
 
 func TestSerialResultTimeMatchesModels(t *testing.T) {
-	res := sim.RunToRecall(store, 2, NewOptimalOrder(store), 1.0)
+	res := sim.RunToRecall(store, 2, NewOptimal(store), 1.0)
 	var want float64
 	for _, m := range res.Executed {
 		want += z.Models[m].TimeMS
 	}
 	if math.Abs(res.TimeMS-want) > 1e-9 {
 		t.Fatalf("result time %v != summed model time %v", res.TimeMS, want)
+	}
+}
+
+// --- Unified-contract tests ----------------------------------------------
+
+// TestPoliciesSkipModelsOverMemoryCap: under a memory constraint every
+// policy must skip models that do not fit the available headroom and
+// keep scheduling the ones that do — the contract that lets the real
+// server feed live availability into Next.
+func TestPoliciesSkipModelsOverMemoryCap(t *testing.T) {
+	const capMB = 1000 // excludes several heavyweight models
+	var fits, excluded []int
+	for m := range z.Models {
+		if z.Models[m].MemMB <= capMB {
+			fits = append(fits, m)
+		} else {
+			excluded = append(excluded, m)
+		}
+	}
+	if len(excluded) == 0 {
+		t.Fatal("test needs at least one model over the cap")
+	}
+	rng := tensor.NewRNG(19)
+	for _, p := range []sim.Policy{
+		NewRandom(z, rng),
+		NewOptimal(store),
+		NewQGreedy(cheatPredictor{0}, z),
+		NewCostQGreedy(cheatPredictor{0}, z),
+		NewMemoryPacker(cheatPredictor{0}, z),
+	} {
+		p.Reset(0)
+		tr := oracle.NewTracker(store, 0)
+		c := sim.Constraints{RemainingMS: z.TotalTimeMS(), AvailMemMB: capMB}
+		var executed int
+		for {
+			m := p.Next(tr, c)
+			if m < 0 {
+				break
+			}
+			if z.Models[m].MemMB > capMB+1e-9 {
+				t.Fatalf("%s selected model %d (%v MB) over the %v MB cap",
+					p.Name(), m, z.Models[m].MemMB, capMB)
+			}
+			tr.Execute(m)
+			p.Observe(m, store.Output(0, m))
+			executed++
+		}
+		// The schedule continued past the excluded models: every model
+		// under the cap with any scheduling appeal ran. For the
+		// exhaustive policies that is all of them.
+		if executed == 0 {
+			t.Fatalf("%s scheduled nothing under a feasible cap", p.Name())
+		}
+		if p.Name() == "Random" || p.Name() == "Optimal" {
+			if executed != len(fits) {
+				t.Fatalf("%s ran %d models under the cap, want all %d fitting ones",
+					p.Name(), executed, len(fits))
+			}
+		}
+		for _, m := range excluded {
+			if tr.Executed(m) {
+				t.Fatalf("%s executed over-cap model %d", p.Name(), m)
+			}
+		}
+	}
+}
+
+// refCostQGreedy reimplements the pre-refactor Algorithm 1 (deadline
+// only, no memory dimension) as a reference for the bit-identity test.
+func refCostQGreedy(pred Predictor, tr *oracle.Tracker, remainingMS float64) int {
+	q := pred.Predict(tr.State())
+	bestRatio, bestRatioM := 0.0, -1
+	bestQ, bestQM := 0.0, -1
+	for _, m := range tr.Unexecuted() {
+		mt := z.Models[m].TimeMS
+		if mt > remainingMS {
+			continue
+		}
+		if q[m] > 0 {
+			if ratio := q[m] / mt; bestRatioM < 0 || ratio > bestRatio {
+				bestRatio, bestRatioM = ratio, m
+			}
+		}
+		if bestQM < 0 || q[m] > bestQ {
+			bestQ, bestQM = q[m], m
+		}
+	}
+	if bestRatioM >= 0 {
+		return bestRatioM
+	}
+	return bestQM
+}
+
+// refRandomDeadline reimplements the pre-refactor random deadline
+// baseline (one Intn draw over the feasible set per step).
+func refRandomDeadline(rng *tensor.RNG, tr *oracle.Tracker, remainingMS float64) int {
+	var feasible []int
+	for _, m := range tr.Unexecuted() {
+		if z.Models[m].TimeMS <= remainingMS {
+			feasible = append(feasible, m)
+		}
+	}
+	if len(feasible) == 0 {
+		return -1
+	}
+	return feasible[rng.Intn(len(feasible))]
+}
+
+// refRun drives a pre-refactor reference step function through the old
+// serial deadline loop.
+func refRun(scene int, deadlineMS float64, step func(*oracle.Tracker, float64) int) []int {
+	tr := oracle.NewTracker(store, scene)
+	remaining := deadlineMS
+	var executed []int
+	for tr.ExecutedCount() < store.NumModels() {
+		m := step(tr, remaining)
+		if m < 0 {
+			break
+		}
+		tr.Execute(m)
+		executed = append(executed, m)
+		remaining -= z.Models[m].TimeMS
+	}
+	return executed
+}
+
+// TestDeadlineBehaviorBitIdenticalToPreRefactor: with no memory
+// dimension in play, the unified policies must reproduce the schedules
+// of the deleted deadline-specific implementations exactly, on a fixed
+// seed, across every scene and several budgets.
+func TestDeadlineBehaviorBitIdenticalToPreRefactor(t *testing.T) {
+	for _, deadline := range []float64{100, 500, 1000, 3000} {
+		for i := 0; i < store.NumScenes(); i++ {
+			got := sim.RunDeadline(store, i, NewCostQGreedy(cheatPredictor{i}, z), deadline)
+			want := refRun(i, deadline, func(tr *oracle.Tracker, rem float64) int {
+				return refCostQGreedy(cheatPredictor{i}, tr, rem)
+			})
+			if len(got.Executed) != len(want) {
+				t.Fatalf("scene %d deadline %v: cost-Q %v, reference %v", i, deadline, got.Executed, want)
+			}
+			for j := range want {
+				if got.Executed[j] != want[j] {
+					t.Fatalf("scene %d deadline %v: cost-Q diverges at %d: %v vs %v",
+						i, deadline, j, got.Executed, want)
+				}
+			}
+		}
+	}
+	// The random baseline consumes its RNG stream identically too.
+	const seed = 12345
+	newRNG, refRNG := tensor.NewRNG(seed), tensor.NewRNG(seed)
+	p := NewRandom(z, newRNG)
+	for i := 0; i < store.NumScenes(); i++ {
+		got := sim.RunDeadline(store, i, p, 700)
+		want := refRun(i, 700, func(tr *oracle.Tracker, rem float64) int {
+			return refRandomDeadline(refRNG, tr, rem)
+		})
+		if len(got.Executed) != len(want) {
+			t.Fatalf("scene %d: random %v, reference %v", i, got.Executed, want)
+		}
+		for j := range want {
+			if got.Executed[j] != want[j] {
+				t.Fatalf("scene %d: random diverges at %d: %v vs %v", i, j, got.Executed, want)
+			}
+		}
+	}
+}
+
+// TestMemoryPackerSerialUnderDeadline: Algorithm 2 also runs under the
+// plain serial executors now that the contract is unified.
+func TestMemoryPackerSerialUnderDeadline(t *testing.T) {
+	for i := 0; i < 10; i++ {
+		res := sim.RunDeadline(store, i, NewMemoryPacker(cheatPredictor{i}, z), 800)
+		if res.TimeMS > 800+1e-9 {
+			t.Fatalf("scene %d: packer exceeded the serial deadline: %v", i, res.TimeMS)
+		}
 	}
 }

@@ -66,6 +66,38 @@ func (a *accountant) release(mb float64) {
 	a.cond.Broadcast()
 }
 
+// available returns the megabytes a reservation could claim right now.
+// This is the live availability fed into policies as
+// sim.Constraints.AvailMemMB, so a policy only ever selects models that
+// fit the current headroom.
+func (a *accountant) available() float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.budgetMB - a.usedMB
+}
+
+// awaitMore blocks until the available memory differs from what the
+// caller last observed, returning true to ask the policy again. It
+// returns false without blocking when the whole budget was already
+// available: nothing is running, so no release will ever raise it and a
+// policy that declined has genuinely finished its schedule.
+func (a *accountant) awaitMore(observedMB float64) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if observedMB >= a.budgetMB-1e-9 {
+		return false
+	}
+	waited := false
+	for a.budgetMB-a.usedMB <= observedMB+1e-9 {
+		if !waited {
+			waited = true
+			a.waits++
+		}
+		a.cond.Wait()
+	}
+	return true
+}
+
 // peak returns the maximum simultaneous reservation observed.
 func (a *accountant) peak() float64 {
 	a.mu.Lock()

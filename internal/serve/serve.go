@@ -4,12 +4,31 @@
 // onto a bounded queue and dispatched to a pool of workers; each worker
 // owns one scheduling policy (built by the shared service.PolicyFactory,
 // mirroring LabelBatch's one-clone-per-worker rule) and labels its item
-// under the per-item deadline of Algorithm 1. The joint deadline +
-// GPU-memory setting of Algorithm 2 is enforced globally: all workers
-// reserve model footprints against one shared memory accountant before
-// executing, so the server as a whole never commits more GPU memory
-// than the configured budget, and workers block (backpressure) when the
-// budget is saturated.
+// under the per-item deadline. The joint deadline + GPU-memory setting
+// of Algorithm 2 is enforced globally: all workers reserve model
+// footprints against one shared memory accountant before executing, so
+// the server as a whole never commits more GPU memory than the
+// configured budget, and workers block (backpressure) when the budget
+// is saturated.
+//
+// Policies receive the accountant's live availability through
+// sim.Constraints on every selection, so a model that does not fit the
+// current headroom — including one bigger than the whole budget — is
+// simply skipped by the policy, which keeps scheduling the remaining
+// feasible models. When a policy declines while other items still hold
+// memory, the worker waits for a release and asks again rather than
+// ending the item's schedule on a transient shortage.
+//
+// Two per-item execution modes exist. The default runs Algorithm 1's
+// serial loop: one worker executes its item's models one at a time. With
+// Config.ItemParallel the server instead mirrors sim.RunParallel per
+// item: the worker that dequeues an item coordinates its schedule,
+// launching the policy's selections concurrently (each execution sleeps
+// in its own goroutine while holding its reservation) and committing
+// completions in nominal-finish order, so an uncontended item reproduces
+// the virtual-time parallel schedule — and its recall — exactly. As in
+// sim.RunParallel, per-item parallelism is bounded by the memory budget,
+// not the worker count.
 //
 // Admission control is explicit: Submit rejects with ErrQueueFull when
 // the bounded queue is saturated, SubmitWait blocks until space frees,
@@ -26,19 +45,22 @@
 // One caveat: the scheduler's real CPU work (the agent's Q-network
 // forward passes — the paper's Table III selection overhead) is not
 // scaled, so very small TimeScale values magnify it relative to model
-// time and inflate the simulated-clock latencies.
+// time and inflate the simulated-clock latencies; RunStats.AvgSelectSec
+// quantifies that overhead per item.
 package serve
 
 import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"sync"
 	"time"
 
 	"ams/internal/oracle"
 	"ams/internal/service"
 	"ams/internal/sim"
+	"ams/internal/zoo"
 )
 
 // Sentinel errors of the admission path.
@@ -59,11 +81,19 @@ type Config struct {
 
 	// MemoryBudgetMB, when positive, is the GPU memory shared by ALL
 	// workers: the sum of in-flight model footprints never exceeds it.
-	// Zero disables the memory constraint. A model whose footprint
-	// exceeds the whole budget can never run; if a policy selects one,
-	// the item's schedule ends early (Algorithm 2's feasibility check
-	// with an empty candidate set).
+	// Zero disables the memory constraint. Policies see the live
+	// availability through sim.Constraints, so a model that cannot fit —
+	// including one bigger than the whole budget — is skipped by the
+	// policy while the rest of the item's schedule continues.
 	MemoryBudgetMB float64
+
+	// ItemParallel, when set, runs each item's schedule with the
+	// parallel executor semantics of sim.RunParallel (Algorithm 2 per
+	// item): the dequeuing worker launches the policy's selections
+	// concurrently under the shared accountant and commits completions
+	// in nominal-finish order. Requires a memory budget, which is what
+	// bounds the per-item parallelism.
+	ItemParallel bool
 
 	// TimeScale is the real seconds slept per simulated second of model
 	// time (default 1.0, production pacing). Tests use small values to
@@ -84,7 +114,7 @@ const defaultStatsWindow = 1 << 16
 type ItemResult struct {
 	Image      int
 	Executed   []int   // model IDs in execution order
-	ScheduleMS float64 // summed nominal model time
+	ScheduleMS float64 // summed nominal model time; the makespan in ItemParallel mode
 	Recall     float64
 	WaitSec    float64 // queue wait on the simulated clock
 	LatencySec float64 // submit -> completion on the simulated clock
@@ -160,6 +190,9 @@ func New(st *oracle.Store, factory service.PolicyFactory, cfg Config) (*Server, 
 	var acct *accountant
 	if cfg.MemoryBudgetMB < 0 {
 		return nil, fmt.Errorf("serve: negative memory budget %v MB", cfg.MemoryBudgetMB)
+	}
+	if cfg.ItemParallel && cfg.MemoryBudgetMB <= 0 {
+		return nil, errors.New("serve: per-item parallel execution requires a memory budget (it bounds the parallelism)")
 	}
 	if cfg.MemoryBudgetMB > 0 {
 		smallest := st.Zoo.Models[0].MemMB
@@ -270,33 +303,103 @@ func (s *Server) worker(w int) {
 	defer s.wg.Done()
 	policy := s.factory(w)
 	for tk := range s.queue {
-		s.process(policy, tk)
+		if s.cfg.ItemParallel {
+			s.processParallel(policy, tk)
+		} else {
+			s.process(policy, tk)
+		}
+	}
+}
+
+// constraints snapshots the limits for one selection: the item's
+// remaining schedule time and the accountant's live availability.
+func (s *Server) constraints(remainingMS float64) sim.Constraints {
+	avail := math.Inf(1)
+	if s.acct != nil {
+		avail = s.acct.available()
+	}
+	return sim.Constraints{RemainingMS: remainingMS, AvailMemMB: avail}
+}
+
+// memStalled reports whether the policy's decline may be transient
+// memory pressure: some unexecuted model fits the remaining time and
+// the whole budget, but not the availability the policy just saw. When
+// it returns false the decline is final — the item is out of time, out
+// of candidates, or the policy chose to stop — so waiting for a memory
+// release could never change the answer.
+func (s *Server) memStalled(tr *oracle.Tracker, remainingMS, observedAvailMB float64) bool {
+	if s.acct == nil {
+		return false
+	}
+	for _, m := range tr.Unexecuted() {
+		mod := s.st.Zoo.Models[m]
+		if mod.TimeMS <= remainingMS+1e-9 &&
+			mod.MemMB <= s.cfg.MemoryBudgetMB+1e-9 &&
+			mod.MemMB > observedAvailMB+1e-9 {
+			return true
+		}
+	}
+	return false
+}
+
+// checkSelection panics when the policy violated the constraints it was
+// handed — the executor-level contract checks sim's loops also apply.
+func checkSelection(policy sim.Policy, m int, mod *zoo.Model, c sim.Constraints) {
+	if mod.TimeMS > c.RemainingMS+1e-9 {
+		panic(fmt.Sprintf("serve: policy %s exceeded the deadline (model %d needs %v, %v left)",
+			policy.Name(), m, mod.TimeMS, c.RemainingMS))
+	}
+	if mod.MemMB > c.AvailMemMB+1e-9 {
+		panic(fmt.Sprintf("serve: policy %s ignored the memory constraint (model %d needs %v MB, %v MB available)",
+			policy.Name(), m, mod.MemMB, c.AvailMemMB))
 	}
 }
 
 // process runs one item's schedule: Algorithm 1's serial deadline loop,
-// with every model execution gated by the global memory accountant.
-func (s *Server) process(policy sim.DeadlinePolicy, tk *Ticket) {
+// with every model execution gated by the global memory accountant. The
+// policy sees the live availability, so an unfittable model is skipped
+// by the policy itself; a decline while other items hold memory only
+// pauses the schedule until a release frees headroom.
+func (s *Server) process(policy sim.Policy, tk *Ticket) {
 	startWall := time.Now()
 	policy.Reset(tk.image)
 	tr := oracle.NewTracker(s.st, tk.image)
 	remaining := s.cfg.DeadlineSec * 1000
 	var (
-		executed []int
-		schedMS  float64
+		executed  []int
+		schedMS   float64
+		selectSec float64
 	)
-	for tr.ExecutedCount() < s.st.NumModels() {
-		m := policy.Next(tr, remaining)
+	for remaining > 0 && tr.ExecutedCount() < s.st.NumModels() {
+		c := s.constraints(remaining)
+		if c.AvailMemMB <= 0 {
+			// Never ask with a depleted headroom: a zero constraint
+			// field means "unconstrained" to the policy. Treat it as
+			// the fully-stalled case instead.
+			if s.memStalled(tr, remaining, 0) && s.acct.awaitMore(0) {
+				continue
+			}
+			break
+		}
+		t0 := time.Now()
+		m := policy.Next(tr, c)
+		selectSec += time.Since(t0).Seconds()
 		if m < 0 {
+			// Retry only when the decline can be blamed on memory that
+			// concurrent items hold right now; a final decline (out of
+			// time, out of candidates) ends the schedule immediately.
+			if s.memStalled(tr, remaining, c.AvailMemMB) && s.acct.awaitMore(c.AvailMemMB) {
+				continue
+			}
 			break
 		}
 		mod := s.st.Zoo.Models[m]
-		if mod.TimeMS > remaining+1e-9 {
-			panic(fmt.Sprintf("serve: policy %s exceeded the deadline (model %d needs %v, %v left)",
-				policy.Name(), m, mod.TimeMS, remaining))
-		}
-		if s.acct != nil && !s.acct.reserve(mod.MemMB) {
-			break // footprint exceeds the whole budget: never feasible
+		checkSelection(policy, m, mod, c)
+		if s.acct != nil {
+			// Another worker may have claimed the observed headroom in
+			// the meantime; reserve blocks until the footprint fits
+			// again (it does fit the whole budget, so it always will).
+			s.acct.reserve(mod.MemMB)
 		}
 		sleepFor(mod.TimeMS * s.cfg.TimeScale)
 		if s.acct != nil {
@@ -308,6 +411,115 @@ func (s *Server) process(policy sim.DeadlinePolicy, tk *Ticket) {
 		schedMS += mod.TimeMS
 		remaining -= mod.TimeMS
 	}
+	s.finish(tk, startWall, executed, schedMS, selectSec, tr.Recall())
+}
+
+// parallelFlight is one in-flight model execution of a parallel item.
+type parallelFlight struct {
+	model    int
+	finishMS float64       // nominal finish on the item's schedule clock
+	done     chan struct{} // closed when the scaled sleep has elapsed
+}
+
+// processParallel runs one item with sim.RunParallel's semantics under
+// real concurrency: the worker coordinates launch phases and completion
+// commits on the item's nominal schedule clock while each launched model
+// sleeps in its own goroutine. Reservations are released at commit (not
+// when the sleep ends), so the availability a launch phase observes is
+// exactly what the virtual-time executor would compute — an uncontended
+// item therefore reproduces the sim.RunParallel schedule bit for bit.
+func (s *Server) processParallel(policy sim.Policy, tk *Ticket) {
+	startWall := time.Now()
+	policy.Reset(tk.image)
+	tr := oracle.NewTracker(s.st, tk.image)
+	deadlineMS := s.cfg.DeadlineSec * 1000
+	var (
+		inFly     []parallelFlight
+		nowMS     float64 // the item's nominal schedule clock
+		executed  []int
+		selectSec float64
+	)
+	for {
+		// Launch phase: one selection per ask until the policy declines.
+		// stalledAt records the availability at which launching stopped
+		// short of the budget, so an empty schedule can wait for a
+		// release instead of ending on another item's transient usage.
+		stalledAt := -1.0
+		for {
+			remaining := deadlineMS - nowMS
+			if remaining <= 0 {
+				break
+			}
+			c := s.constraints(remaining)
+			if c.AvailMemMB <= 0 {
+				stalledAt = 0
+				break
+			}
+			t0 := time.Now()
+			m := policy.Next(tr, c)
+			selectSec += time.Since(t0).Seconds()
+			if m < 0 {
+				stalledAt = c.AvailMemMB
+				break
+			}
+			mod := s.st.Zoo.Models[m]
+			checkSelection(policy, m, mod, c)
+			// This reserve can briefly block when another item claims
+			// the observed headroom first, while this coordinator holds
+			// its own in-flight reservations. That cannot deadlock: a
+			// blocked reserve implies a later successful reservation by
+			// another coordinator, so the globally last reserver is
+			// never blocked, always drains its commits (which need no
+			// reservation), and its releases wake the blocked one — a
+			// selection always fits the budget minus its own holdings.
+			s.acct.reserve(mod.MemMB)
+			f := parallelFlight{model: m, finishMS: nowMS + mod.TimeMS, done: make(chan struct{})}
+			inFly = append(inFly, f)
+			go func(sleepMS float64, done chan struct{}) {
+				sleepFor(sleepMS * s.cfg.TimeScale)
+				close(done)
+			}(mod.TimeMS, f.done)
+		}
+		if len(inFly) == 0 {
+			// Nothing running and nothing launchable. As in the serial
+			// loop, a decline under another item's memory pressure only
+			// pauses the schedule; a final decline ends it.
+			if stalledAt >= 0 && s.memStalled(tr, deadlineMS-nowMS, stalledAt) &&
+				s.acct.awaitMore(stalledAt) {
+				continue
+			}
+			break
+		}
+		// Commit the earliest nominal completion (ties: launch order),
+		// matching sim.RunParallel's event loop regardless of real
+		// wall-clock jitter between the sleeps.
+		ei := 0
+		for i, f := range inFly {
+			if f.finishMS < inFly[ei].finishMS {
+				ei = i
+			}
+		}
+		f := inFly[ei]
+		inFly = append(inFly[:ei], inFly[ei+1:]...)
+		<-f.done
+		mod := s.st.Zoo.Models[f.model]
+		s.acct.release(mod.MemMB)
+		nowMS = f.finishMS
+		tr.Execute(f.model)
+		policy.Observe(f.model, s.st.Output(tk.image, f.model))
+		executed = append(executed, f.model)
+	}
+	// The coordinating worker is occupied for the whole makespan, so
+	// that — not the summed model time, which can exceed it — is the
+	// busy time charged to utilization.
+	s.finish(tk, startWall, executed, nowMS, selectSec, tr.Recall())
+}
+
+// finish records one completed item and resolves its ticket. schedMS is
+// the item's schedule length — the worker time the item occupied, which
+// is also what utilization charges: summed model time serially, the
+// makespan in parallel mode.
+func (s *Server) finish(tk *Ticket, startWall time.Time, executed []int, schedMS, selectSec float64, recall float64) {
 	finishWall := time.Now()
 
 	// Record on the simulated clock so Stats is comparable to the sim.
@@ -317,13 +529,14 @@ func (s *Server) process(policy sim.DeadlinePolicy, tk *Ticket) {
 		StartSec:   startWall.Sub(s.start).Seconds() / scale,
 		FinishSec:  finishWall.Sub(s.start).Seconds() / scale,
 		BusySec:    schedMS / 1000,
-		Recall:     tr.Recall(),
+		Recall:     recall,
+		SelectSec:  selectSec, // real seconds, deliberately unscaled
 	}
 	tk.res = ItemResult{
 		Image:      tk.image,
 		Executed:   executed,
 		ScheduleMS: schedMS,
-		Recall:     tr.Recall(),
+		Recall:     recall,
 		WaitSec:    rec.StartSec - rec.ArrivalSec,
 		LatencySec: rec.FinishSec - rec.ArrivalSec,
 	}

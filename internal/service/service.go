@@ -36,7 +36,7 @@ func Run(st *oracle.Store, factory PolicyFactory, cfg Config) Stats {
 	}
 	arrivals := Arrivals(cfg.Items, cfg.ArrivalRateHz, cfg.Seed)
 
-	policies := make([]sim.DeadlinePolicy, cfg.Workers)
+	policies := make([]sim.Policy, cfg.Workers)
 	for w := range policies {
 		policies[w] = factory(w)
 	}

@@ -20,8 +20,8 @@ var (
 )
 
 func randomFactory(seed uint64) PolicyFactory {
-	return func(worker int) sim.DeadlinePolicy {
-		return sched.NewRandomDeadline(z, tensor.NewRNG(seed+uint64(worker)))
+	return func(worker int) sim.Policy {
+		return sched.NewRandom(z, tensor.NewRNG(seed+uint64(worker)))
 	}
 }
 

@@ -32,11 +32,12 @@ type Stats struct {
 	ThroughputHz    float64 // completions per simulated second
 	Utilization     float64 // busy worker-time / (workers * horizon)
 	HorizonSec      float64 // completion time of the last item
+	AvgSelectSec    float64 // real seconds of policy selection per item (0 in the virtual-time sim)
 }
 
-// PolicyFactory builds one deadline policy per worker. Policies are not
-// shared across workers so stateful implementations stay correct.
-type PolicyFactory func(worker int) sim.DeadlinePolicy
+// PolicyFactory builds one scheduling policy per worker. Policies are
+// not shared across workers so stateful implementations stay correct.
+type PolicyFactory func(worker int) sim.Policy
 
 // Record is one completed item, all times in seconds on a common clock
 // (virtual seconds for the sim, scaled wall-clock for the real server).
@@ -46,6 +47,12 @@ type Record struct {
 	FinishSec  float64 // when its schedule completed
 	BusySec    float64 // model execution time charged to the worker
 	Recall     float64 // fraction of the item's valuable value recalled
+
+	// SelectSec is the real (unscaled) wall-clock time the worker spent
+	// inside policy.Next for this item — the paper's Table III selection
+	// overhead, dominated by Q-network forward passes. The virtual-time
+	// sim leaves it zero.
+	SelectSec float64
 }
 
 // Summarize reduces completion records to run statistics. It is the
@@ -64,6 +71,7 @@ func Summarize(records []Record, workers int) Stats {
 		stats.AvgLatencySec += lat
 		latencies = append(latencies, lat)
 		stats.AvgRecall += r.Recall
+		stats.AvgSelectSec += r.SelectSec
 		busy += r.BusySec
 		if r.FinishSec > stats.HorizonSec {
 			stats.HorizonSec = r.FinishSec
@@ -73,6 +81,7 @@ func Summarize(records []Record, workers int) Stats {
 	stats.AvgQueueWaitSec /= n
 	stats.AvgLatencySec /= n
 	stats.AvgRecall /= n
+	stats.AvgSelectSec /= n
 	sort.Float64s(latencies)
 	stats.P95LatencySec = latencies[int(0.95*float64(len(latencies)-1))]
 	if stats.HorizonSec > 0 {

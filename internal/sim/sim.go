@@ -5,47 +5,83 @@
 // deadline+memory setting (§VI-G) in which multiple models share a GPU
 // memory budget and release their memory on completion.
 //
-// The package defines the policy interfaces it consumes; implementations
-// live in internal/sched.
+// All three executors drive the same Policy contract: pick the next
+// model from the current labeling state under the Constraints in force.
+// Implementations live in internal/sched (and internal/graph); because
+// the contract is uniform, any policy can run under any executor, and
+// the real concurrent server (internal/serve) feeds policies its live
+// memory availability through the very same interface.
 package sim
 
 import (
 	"fmt"
+	"math"
 
 	"ams/internal/oracle"
 	"ams/internal/zoo"
 )
 
-// OrderPolicy chooses the next model in the unconstrained serial setting.
-type OrderPolicy interface {
+// budgetEps absorbs float drift when budgets are compared; it matches
+// the tolerance the executors use when checking policy decisions.
+const budgetEps = 1e-9
+
+// Constraints carries the resource limits in force when a policy picks
+// the next model. A zero or +Inf field leaves that dimension
+// unconstrained; executors that track a dwindling budget always pass a
+// positive remaining amount and stop on their own once it is depleted,
+// so a policy never sees an accidental "zero means anything goes".
+type Constraints struct {
+	// RemainingMS is the schedule time still available: a selected
+	// model must run to completion within it.
+	RemainingMS float64
+	// AvailMemMB is the GPU memory free right now: a selected model's
+	// peak footprint must fit in it. In the real server this is the
+	// shared accountant's live availability, so a model bigger than
+	// the current headroom is simply not selectable — the policy skips
+	// it and keeps scheduling the remaining feasible models.
+	AvailMemMB float64
+}
+
+// Unconstrained returns constraints with no limit in either dimension.
+func Unconstrained() Constraints { return Constraints{} }
+
+// AllowsTime reports whether a model taking ms milliseconds fits the
+// time dimension.
+func (c Constraints) AllowsTime(ms float64) bool {
+	return c.RemainingMS == 0 || math.IsInf(c.RemainingMS, 1) || ms <= c.RemainingMS+budgetEps
+}
+
+// AllowsMem reports whether a model occupying mb megabytes fits the
+// memory dimension.
+func (c Constraints) AllowsMem(mb float64) bool {
+	return c.AvailMemMB == 0 || math.IsInf(c.AvailMemMB, 1) || mb <= c.AvailMemMB+budgetEps
+}
+
+// Allows reports whether a model fits both dimensions.
+func (c Constraints) Allows(m *zoo.Model) bool {
+	return c.AllowsTime(m.TimeMS) && c.AllowsMem(m.MemMB)
+}
+
+// Policy is the one scheduling contract of the framework: from the
+// current labeling state and the constraints in force, choose the next
+// model to execute, or -1 when no feasible or useful model remains.
+//
+// The parallel executor launches a returned model immediately and asks
+// again (at the same labeling state, with the memory headroom reduced)
+// until the policy declines; a launched model's output becomes visible
+// only when Observe is called at its completion. A policy must
+// therefore remember its own in-flight selections — models it returned
+// whose Observe has not arrived yet — and never return one of them
+// again. Under the serial executors Observe directly follows every
+// selection, so that bookkeeping is invisible there.
+type Policy interface {
 	Name() string
 	// Reset is called once before each image.
 	Reset(scene int)
-	// Next returns the model to execute next, or -1 to stop early.
-	Next(t *oracle.Tracker) int
-	// Observe feeds back the executed model's full stored output.
+	// Next returns the model to execute next under c, or -1.
+	Next(t *oracle.Tracker, c Constraints) int
+	// Observe feeds back an executed model's full stored output.
 	Observe(m int, out zoo.Output)
-}
-
-// DeadlinePolicy chooses the next model under a per-image time budget.
-type DeadlinePolicy interface {
-	Name() string
-	Reset(scene int)
-	// Next returns the next model given the remaining budget in
-	// milliseconds, or -1 when no feasible/useful model remains.
-	Next(t *oracle.Tracker, remainingMS float64) int
-	Observe(m int, out zoo.Output)
-}
-
-// BatchSelector picks sets of models to launch in the parallel
-// deadline+memory setting.
-type BatchSelector interface {
-	Name() string
-	Reset(scene int)
-	// SelectStart returns model indices to launch now. Candidates must be
-	// unexecuted, not running, fit in availMemMB, and finish by deadlineMS.
-	// The implementation may return nil to launch nothing this round.
-	SelectStart(t *oracle.Tracker, running []int, availMemMB, nowMS, deadlineMS float64) []int
 }
 
 // SerialResult summarizes one serial episode.
@@ -58,7 +94,7 @@ type SerialResult struct {
 // RunToRecall executes models per the policy until the recall of valuable
 // value reaches threshold (ground-truth stop condition, as in the paper's
 // §VI-B), the policy stops, or every model has run.
-func RunToRecall(st *oracle.Store, scene int, p OrderPolicy, threshold float64) SerialResult {
+func RunToRecall(st *oracle.Store, scene int, p Policy, threshold float64) SerialResult {
 	if threshold < 0 || threshold > 1 {
 		panic(fmt.Sprintf("sim: recall threshold %v out of [0,1]", threshold))
 	}
@@ -66,7 +102,7 @@ func RunToRecall(st *oracle.Store, scene int, p OrderPolicy, threshold float64) 
 	t := oracle.NewTracker(st, scene)
 	var res SerialResult
 	for t.Recall() < threshold-1e-12 && t.ExecutedCount() < st.NumModels() {
-		m := p.Next(t)
+		m := p.Next(t, Unconstrained())
 		if m < 0 {
 			break
 		}
@@ -81,18 +117,18 @@ func RunToRecall(st *oracle.Store, scene int, p OrderPolicy, threshold float64) 
 
 // RunDeadline executes models serially under a per-image deadline: a model
 // may start only if it finishes within the budget (Algorithm 1 line 3).
-func RunDeadline(st *oracle.Store, scene int, p DeadlinePolicy, deadlineMS float64) SerialResult {
+func RunDeadline(st *oracle.Store, scene int, p Policy, deadlineMS float64) SerialResult {
 	p.Reset(scene)
 	t := oracle.NewTracker(st, scene)
 	var res SerialResult
 	remaining := deadlineMS
-	for t.ExecutedCount() < st.NumModels() {
-		m := p.Next(t, remaining)
+	for remaining > 0 && t.ExecutedCount() < st.NumModels() {
+		m := p.Next(t, Constraints{RemainingMS: remaining, AvailMemMB: math.Inf(1)})
 		if m < 0 {
 			break
 		}
 		mt := st.Zoo.Models[m].TimeMS
-		if mt > remaining+1e-9 {
+		if mt > remaining+budgetEps {
 			panic(fmt.Sprintf("sim: policy %s exceeded the deadline (model %d needs %v, %v left)",
 				p.Name(), m, mt, remaining))
 		}
@@ -121,15 +157,18 @@ type running struct {
 }
 
 // RunParallel simulates multi-processor execution under a wall-clock
-// deadline and a shared GPU memory budget. Models launch according to the
-// selector, occupy their peak memory while running, and release it on
-// completion; outputs become visible (updating the labeling state) when a
-// model finishes, which is when new Q-value predictions may change.
-func RunParallel(st *oracle.Store, scene int, sel BatchSelector, deadlineMS, memMB float64) ParallelResult {
+// deadline and a shared GPU memory budget. At each scheduling point the
+// executor asks the policy for one model at a time — passing the time
+// left to the deadline and the memory headroom after earlier launches —
+// until the policy declines; launched models occupy their peak memory
+// while running and release it on completion. Outputs become visible
+// (updating the labeling state, via Observe) when a model finishes,
+// which is when new Q-value predictions may change.
+func RunParallel(st *oracle.Store, scene int, p Policy, deadlineMS, memMB float64) ParallelResult {
 	if deadlineMS <= 0 || memMB <= 0 {
 		panic("sim: non-positive parallel budgets")
 	}
-	sel.Reset(scene)
+	p.Reset(scene)
 	t := oracle.NewTracker(st, scene)
 	var (
 		res     ParallelResult
@@ -137,13 +176,6 @@ func RunParallel(st *oracle.Store, scene int, sel BatchSelector, deadlineMS, mem
 		now     float64
 		usedMem float64
 	)
-	runningIDs := func() []int {
-		ids := make([]int, len(inFly))
-		for i, r := range inFly {
-			ids[i] = r.model
-		}
-		return ids
-	}
 	isRunning := func(m int) bool {
 		for _, r := range inFly {
 			if r.model == m {
@@ -153,18 +185,26 @@ func RunParallel(st *oracle.Store, scene int, sel BatchSelector, deadlineMS, mem
 		return false
 	}
 	for {
-		// Launch phase.
-		starts := sel.SelectStart(t, runningIDs(), memMB-usedMem, now, deadlineMS)
-		for _, m := range starts {
+		// Launch phase: one model per ask until the policy declines or
+		// a budget is exhausted.
+		for {
+			remaining, avail := deadlineMS-now, memMB-usedMem
+			if remaining <= 0 || avail <= 0 {
+				break
+			}
+			m := p.Next(t, Constraints{RemainingMS: remaining, AvailMemMB: avail})
+			if m < 0 {
+				break
+			}
 			mod := st.Zoo.Models[m]
 			if t.Executed(m) || isRunning(m) {
-				panic(fmt.Sprintf("sim: selector %s launched model %d twice", sel.Name(), m))
+				panic(fmt.Sprintf("sim: policy %s launched model %d twice", p.Name(), m))
 			}
-			if usedMem+mod.MemMB > memMB+1e-9 {
-				panic(fmt.Sprintf("sim: selector %s exceeded memory budget", sel.Name()))
+			if usedMem+mod.MemMB > memMB+budgetEps {
+				panic(fmt.Sprintf("sim: policy %s exceeded memory budget", p.Name()))
 			}
-			if now+mod.TimeMS > deadlineMS+1e-9 {
-				panic(fmt.Sprintf("sim: selector %s launched past the deadline", sel.Name()))
+			if now+mod.TimeMS > deadlineMS+budgetEps {
+				panic(fmt.Sprintf("sim: policy %s launched past the deadline", p.Name()))
 			}
 			usedMem += mod.MemMB
 			inFly = append(inFly, running{model: m, finishMS: now + mod.TimeMS})
@@ -187,6 +227,7 @@ func RunParallel(st *oracle.Store, scene int, sel BatchSelector, deadlineMS, mem
 		now = done.finishMS
 		usedMem -= st.Zoo.Models[done.model].MemMB
 		t.Execute(done.model) // output revealed at completion
+		p.Observe(done.model, st.Output(scene, done.model))
 		res.Executed = append(res.Executed, done.model)
 	}
 	res.MakespanMS = now

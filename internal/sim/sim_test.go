@@ -16,12 +16,13 @@ var (
 	store = oracle.Build(z, ds.Scenes)
 )
 
-// seqPolicy executes models in fixed ID order.
+// seqPolicy executes models in fixed ID order, ignoring constraints
+// (it only runs under the unconstrained executor).
 type seqPolicy struct{ stopAfter int }
 
 func (p *seqPolicy) Name() string { return "seq" }
 func (p *seqPolicy) Reset(int)    {}
-func (p *seqPolicy) Next(t *oracle.Tracker) int {
+func (p *seqPolicy) Next(t *oracle.Tracker, _ Constraints) int {
 	if p.stopAfter > 0 && t.ExecutedCount() >= p.stopAfter {
 		return -1
 	}
@@ -33,14 +34,14 @@ func (p *seqPolicy) Next(t *oracle.Tracker) int {
 }
 func (p *seqPolicy) Observe(int, zoo.Output) {}
 
-// seqDeadline picks the first unexecuted model that fits.
+// seqDeadline picks the first unexecuted model that fits the budget.
 type seqDeadline struct{}
 
 func (seqDeadline) Name() string { return "seq-deadline" }
 func (seqDeadline) Reset(int)    {}
-func (seqDeadline) Next(t *oracle.Tracker, remaining float64) int {
+func (seqDeadline) Next(t *oracle.Tracker, c Constraints) int {
 	for _, m := range t.Unexecuted() {
-		if store.Zoo.Models[m].TimeMS <= remaining {
+		if c.AllowsTime(store.Zoo.Models[m].TimeMS) {
 			return m
 		}
 	}
@@ -53,45 +54,42 @@ type badDeadline struct{}
 
 func (badDeadline) Name() string { return "bad" }
 func (badDeadline) Reset(int)    {}
-func (badDeadline) Next(t *oracle.Tracker, remaining float64) int {
+func (badDeadline) Next(t *oracle.Tracker, _ Constraints) int {
 	return t.Unexecuted()[0]
 }
 func (badDeadline) Observe(int, zoo.Output) {}
 
-// greedyPacker launches every model that fits (for event-loop tests).
-type greedyPacker struct{}
+// greedyPacker launches every model that fits (for event-loop tests),
+// tracking its in-flight selections as the parallel contract requires.
+type greedyPacker struct{ fly map[int]bool }
 
-func (greedyPacker) Name() string { return "greedy" }
-func (greedyPacker) Reset(int)    {}
-func (greedyPacker) SelectStart(t *oracle.Tracker, running []int, avail, now, deadline float64) []int {
-	inFly := map[int]bool{}
-	for _, m := range running {
-		inFly[m] = true
-	}
-	var starts []int
+func (p *greedyPacker) Name() string { return "greedy" }
+func (p *greedyPacker) Reset(int)    { p.fly = map[int]bool{} }
+func (p *greedyPacker) Next(t *oracle.Tracker, c Constraints) int {
 	for _, m := range t.Unexecuted() {
-		mod := store.Zoo.Models[m]
-		if inFly[m] || mod.MemMB > avail || now+mod.TimeMS > deadline {
+		if p.fly[m] || !c.Allows(store.Zoo.Models[m]) {
 			continue
 		}
-		starts = append(starts, m)
-		inFly[m] = true
-		avail -= mod.MemMB
+		p.fly[m] = true
+		return m
 	}
-	return starts
+	return -1
 }
+func (p *greedyPacker) Observe(m int, _ zoo.Output) { delete(p.fly, m) }
 
-// doubleLauncher launches the same model twice — the executor must panic.
+// doubleLauncher returns the same model twice in one launch phase — the
+// executor must panic.
 type doubleLauncher struct{}
 
 func (doubleLauncher) Name() string { return "double" }
 func (doubleLauncher) Reset(int)    {}
-func (doubleLauncher) SelectStart(t *oracle.Tracker, running []int, avail, now, deadline float64) []int {
-	if len(running) == 0 && t.ExecutedCount() == 0 {
-		return []int{0, 0}
+func (doubleLauncher) Next(t *oracle.Tracker, _ Constraints) int {
+	if t.ExecutedCount() == 0 {
+		return 0
 	}
-	return nil
+	return -1
 }
+func (doubleLauncher) Observe(int, zoo.Output) {}
 
 func TestRunToRecallStopsAtThreshold(t *testing.T) {
 	res := RunToRecall(store, 0, &seqPolicy{}, 0.5)
@@ -151,7 +149,7 @@ func TestRunDeadlineLargeBudgetRunsAll(t *testing.T) {
 }
 
 func TestRunParallelGreedyPacksAll(t *testing.T) {
-	res := RunParallel(store, 0, greedyPacker{}, z.TotalTimeMS(), 1<<20)
+	res := RunParallel(store, 0, &greedyPacker{}, z.TotalTimeMS(), 1<<20)
 	if len(res.Executed) != store.NumModels() {
 		t.Fatalf("unbounded memory ran %d models", len(res.Executed))
 	}
@@ -171,7 +169,7 @@ func TestRunParallelGreedyPacksAll(t *testing.T) {
 func TestRunParallelMemorySerializes(t *testing.T) {
 	// A memory budget that fits only one heavyweight model at a time
 	// forces serialization of the big models.
-	res := RunParallel(store, 0, greedyPacker{}, z.TotalTimeMS()*2, 8000)
+	res := RunParallel(store, 0, &greedyPacker{}, z.TotalTimeMS()*2, 8000)
 	if res.PeakMemMB > 8000+1e-9 {
 		t.Fatalf("peak memory %v over budget", res.PeakMemMB)
 	}
@@ -197,7 +195,7 @@ func TestRunParallelBadBudgetsPanic(t *testing.T) {
 					t.Fatalf("budgets %v did not panic", c)
 				}
 			}()
-			RunParallel(store, 0, greedyPacker{}, c.d, c.m)
+			RunParallel(store, 0, &greedyPacker{}, c.d, c.m)
 		}()
 	}
 }
@@ -216,7 +214,7 @@ func TestRunToRecallBadThresholdPanics(t *testing.T) {
 }
 
 func TestParallelCompletionOrderIsByFinishTime(t *testing.T) {
-	res := RunParallel(store, 1, greedyPacker{}, z.TotalTimeMS(), 1<<20)
+	res := RunParallel(store, 1, &greedyPacker{}, z.TotalTimeMS(), 1<<20)
 	// With all models launched at t=0, completion order equals ascending
 	// model time (ties in input order).
 	for i := 1; i < len(res.Executed); i++ {

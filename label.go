@@ -6,7 +6,6 @@ import (
 	"ams/internal/core"
 	"ams/internal/sched"
 	"ams/internal/sim"
-	"ams/internal/tensor"
 )
 
 // Agent is a trained model-value predictor ready to drive scheduling.
@@ -62,6 +61,25 @@ type Budget struct {
 	MemoryGB float64
 }
 
+// Validate checks the budget's shape. Every labeling surface (Label,
+// LabelRandom, LabelWith, LabelBatch, OptimalStarRecall) applies it, so
+// the rules live in exactly one place: budgets must be non-negative, and
+// a memory budget needs a deadline — the parallel executor packs model
+// time x memory rectangles into the deadline x memory area, which is
+// unbounded without one.
+func (b Budget) Validate() error {
+	if b.DeadlineSec < 0 {
+		return fmt.Errorf("ams: negative deadline %v s", b.DeadlineSec)
+	}
+	if b.MemoryGB < 0 {
+		return fmt.Errorf("ams: negative memory budget %v GB", b.MemoryGB)
+	}
+	if b.MemoryGB > 0 && b.DeadlineSec <= 0 {
+		return fmt.Errorf("ams: a memory budget requires a deadline")
+	}
+	return nil
+}
+
 // OutputLabel is one emitted label.
 type OutputLabel struct {
 	Name       string
@@ -80,72 +98,34 @@ type Result struct {
 }
 
 // Label schedules model executions for one held-out image under the
-// budget, driven by the agent: Algorithm 1 for a pure deadline, Algorithm
-// 2 when a memory budget is present, and plain value-greedy scheduling
-// when unconstrained.
+// budget, driven by the agent and DefaultPolicy(b): Algorithm 1 for a
+// pure deadline, Algorithm 2 when a memory budget is present, and plain
+// value-greedy scheduling when unconstrained. Use LabelWith to pick the
+// policy explicitly.
 func (s *System) Label(agent *Agent, image int, b Budget) (*Result, error) {
 	if agent == nil {
 		return nil, fmt.Errorf("ams: nil agent")
 	}
-	if image < 0 || image >= s.testStore.NumScenes() {
-		return nil, fmt.Errorf("ams: image %d out of range [0,%d)", image, s.testStore.NumScenes())
-	}
-	var res sim.SerialResult
-	switch {
-	case b.MemoryGB > 0:
-		if b.DeadlineSec <= 0 {
-			return nil, fmt.Errorf("ams: a memory budget requires a deadline")
-		}
-		pr := sim.RunParallel(s.testStore, image,
-			sched.NewMemoryPacker(agent.inner, s.Zoo), b.DeadlineSec*1000, b.MemoryGB*1024)
-		res = sim.SerialResult{Executed: pr.Executed, TimeMS: pr.MakespanMS, Recall: pr.Recall}
-	case b.DeadlineSec > 0:
-		res = sim.RunDeadline(s.testStore, image,
-			sched.NewCostQGreedy(agent.inner, s.Zoo), b.DeadlineSec*1000)
-	default:
-		// Unconstrained: Q-greedy until every valuable label is recalled.
-		res = sim.RunToRecall(s.testStore, image,
-			sched.NewQGreedyOrder(agent.inner, agent.inner.NumModels), 1.0)
-	}
-	return s.buildResult(image, res), nil
+	return s.LabelWith(DefaultPolicy(b), agent, image, b)
 }
 
 // LabelRandom labels an image with the random baseline under the same
 // budget semantics as Label — useful for the comparisons the paper plots.
 func (s *System) LabelRandom(image int, b Budget, seed uint64) (*Result, error) {
-	if image < 0 || image >= s.testStore.NumScenes() {
-		return nil, fmt.Errorf("ams: image %d out of range [0,%d)", image, s.testStore.NumScenes())
-	}
-	rng := tensor.NewRNG(seed ^ 0x9e3779b97f4a7c15)
-	var res sim.SerialResult
-	switch {
-	case b.MemoryGB > 0:
-		if b.DeadlineSec <= 0 {
-			return nil, fmt.Errorf("ams: a memory budget requires a deadline")
-		}
-		pr := sim.RunParallel(s.testStore, image,
-			sched.NewRandomPacker(s.Zoo, rng), b.DeadlineSec*1000, b.MemoryGB*1024)
-		res = sim.SerialResult{Executed: pr.Executed, TimeMS: pr.MakespanMS, Recall: pr.Recall}
-	case b.DeadlineSec > 0:
-		res = sim.RunDeadline(s.testStore, image,
-			sched.NewRandomDeadline(s.Zoo, rng), b.DeadlineSec*1000)
-	default:
-		res = sim.RunToRecall(s.testStore, image, sched.NewRandomOrder(rng), 1.0)
-	}
-	return s.buildResult(image, res), nil
+	return s.LabelWith(PolicyRandom.WithSeed(seed), nil, image, b)
 }
 
 // OptimalStarRecall returns the relaxed optimal* reference recall for an
 // image under the budget (§V-C) — the yardstick the paper compares its
 // heuristics against.
 func (s *System) OptimalStarRecall(image int, b Budget) (float64, error) {
-	if image < 0 || image >= s.testStore.NumScenes() {
-		return 0, fmt.Errorf("ams: image %d out of range [0,%d)", image, s.testStore.NumScenes())
+	if err := b.Validate(); err != nil {
+		return 0, err
+	}
+	if err := s.checkImage(image); err != nil {
+		return 0, err
 	}
 	if b.MemoryGB > 0 {
-		if b.DeadlineSec <= 0 {
-			return 0, fmt.Errorf("ams: a memory budget requires a deadline")
-		}
 		return sched.OptimalStarMemory(s.testStore, image, b.DeadlineSec*1000, b.MemoryGB*1024), nil
 	}
 	if b.DeadlineSec <= 0 {

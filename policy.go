@@ -1,0 +1,188 @@
+package ams
+
+import (
+	"fmt"
+	"strings"
+
+	"ams/internal/sched"
+	"ams/internal/sim"
+	"ams/internal/tensor"
+)
+
+// Policy is a first-class, named scheduling policy. The same value
+// drives every execution surface — Label/LabelWith, LabelBatch, and the
+// real server through ServeConfig.Policy — because every built-in
+// implementation honors the one constraint-carrying contract of
+// internal/sim: pick the next model from the labeling state under the
+// remaining time and the memory available right now.
+//
+// The zero value is not a usable policy; obtain one from the exported
+// variables or PolicyByName. DefaultPolicy picks the paper's algorithm
+// for a budget shape.
+type Policy struct {
+	name string
+	// parallel marks the batch-scheduling policy (Algorithm 2): the
+	// server runs it in per-item parallel mode, where one item's models
+	// execute concurrently across the pool under the shared accountant.
+	parallel bool
+	// needsAgent rejects instantiation without a trained agent.
+	needsAgent bool
+	seed       uint64
+	build      func(s *System, agent *Agent, seed uint64) sim.Policy
+}
+
+// The built-in policies.
+var (
+	// PolicyAlgorithm1 is the paper's Algorithm 1: cost-aware Q-greedy,
+	// maximizing predicted value per unit time among feasible models.
+	PolicyAlgorithm1 = Policy{
+		name:       "algorithm1",
+		needsAgent: true,
+		build: func(s *System, agent *Agent, _ uint64) sim.Policy {
+			return sched.NewCostQGreedy(agent.cloneInner(), s.Zoo)
+		},
+	}
+	// PolicyAlgorithm2 is the paper's Algorithm 2: deadline+memory batch
+	// packing. Under a memory budget the server runs it per item, with
+	// one item's models executing in parallel (sim.RunParallel
+	// semantics).
+	PolicyAlgorithm2 = Policy{
+		name:       "algorithm2",
+		parallel:   true,
+		needsAgent: true,
+		build: func(s *System, agent *Agent, _ uint64) sim.Policy {
+			return sched.NewMemoryPacker(agent.cloneInner(), s.Zoo)
+		},
+	}
+	// PolicyQGreedy picks the feasible model with the highest predicted
+	// value, ignoring cost.
+	PolicyQGreedy = Policy{
+		name:       "qgreedy",
+		needsAgent: true,
+		build: func(s *System, agent *Agent, _ uint64) sim.Policy {
+			return sched.NewQGreedy(agent.cloneInner(), s.Zoo)
+		},
+	}
+	// PolicyRandom executes uniformly random feasible models — the
+	// paper's baseline. It needs no agent; seed it with WithSeed for
+	// reproducible draws.
+	PolicyRandom = Policy{
+		name: "random",
+		build: func(s *System, _ *Agent, seed uint64) sim.Policy {
+			return sched.NewRandom(s.Zoo, tensor.NewRNG(seed^0x9e3779b97f4a7c15))
+		},
+	}
+)
+
+// builtinPolicies lists the registry in documentation order.
+var builtinPolicies = []Policy{PolicyAlgorithm1, PolicyAlgorithm2, PolicyQGreedy, PolicyRandom}
+
+// Name returns the registry name of the policy ("" for the zero value).
+func (p Policy) Name() string { return p.name }
+
+// WithSeed returns a copy of the policy whose stochastic parts (the
+// random baseline's RNG) draw from the given seed stream.
+func (p Policy) WithSeed(seed uint64) Policy {
+	p.seed = seed
+	return p
+}
+
+// valid reports whether the policy came from the registry.
+func (p Policy) valid() bool { return p.build != nil }
+
+// check validates the policy configuration without building anything —
+// instantiation clones the agent's network, so surfaces that only need
+// to fail fast call this instead.
+func (p Policy) check(agent *Agent) error {
+	if !p.valid() {
+		return fmt.Errorf("ams: zero Policy value; use PolicyByName or a Policy* variable")
+	}
+	if p.needsAgent && agent == nil {
+		return fmt.Errorf("ams: policy %q needs an agent", p.name)
+	}
+	return nil
+}
+
+// instantiate builds the internal policy implementation, checking the
+// agent requirement. workerSalt decorrelates per-worker RNG streams.
+func (p Policy) instantiate(s *System, agent *Agent, workerSalt uint64) (sim.Policy, error) {
+	if err := p.check(agent); err != nil {
+		return nil, err
+	}
+	return p.build(s, agent, p.seed+workerSalt), nil
+}
+
+// PolicyNames lists the built-in policy names.
+func PolicyNames() []string {
+	names := make([]string, len(builtinPolicies))
+	for i, p := range builtinPolicies {
+		names[i] = p.name
+	}
+	return names
+}
+
+// PolicyByName looks a built-in policy up by its registry name.
+func PolicyByName(name string) (Policy, error) {
+	for _, p := range builtinPolicies {
+		if p.name == name {
+			return p, nil
+		}
+	}
+	return Policy{}, fmt.Errorf("ams: unknown policy %q (have %s)",
+		name, strings.Join(PolicyNames(), ", "))
+}
+
+// DefaultPolicy returns the paper's algorithm for a budget shape:
+// Algorithm 2 under a joint deadline+memory budget, Algorithm 1 under a
+// deadline, and plain Q-greedy when unconstrained.
+func DefaultPolicy(b Budget) Policy {
+	switch {
+	case b.MemoryGB > 0:
+		return PolicyAlgorithm2
+	case b.DeadlineSec > 0:
+		return PolicyAlgorithm1
+	default:
+		return PolicyQGreedy
+	}
+}
+
+// runSchedule is the one budget dispatch shared by every labeling
+// surface: it picks the executor from the budget shape and runs the
+// policy under it. The budget must already be validated.
+func (s *System) runSchedule(image int, p sim.Policy, b Budget) sim.SerialResult {
+	switch {
+	case b.MemoryGB > 0:
+		pr := sim.RunParallel(s.testStore, image, p, b.DeadlineSec*1000, b.MemoryGB*1024)
+		return sim.SerialResult{Executed: pr.Executed, TimeMS: pr.MakespanMS, Recall: pr.Recall}
+	case b.DeadlineSec > 0:
+		return sim.RunDeadline(s.testStore, image, p, b.DeadlineSec*1000)
+	default:
+		// Unconstrained: schedule until every valuable label is recalled.
+		return sim.RunToRecall(s.testStore, image, p, 1.0)
+	}
+}
+
+// checkImage validates a held-out image index.
+func (s *System) checkImage(image int) error {
+	if image < 0 || image >= s.testStore.NumScenes() {
+		return fmt.Errorf("ams: image %d out of range [0,%d)", image, s.testStore.NumScenes())
+	}
+	return nil
+}
+
+// LabelWith labels one held-out image with an explicit policy under the
+// budget. The agent may be nil for policies that do not need one (the
+// random baseline). Label is LabelWith with DefaultPolicy(b).
+func (s *System) LabelWith(policy Policy, agent *Agent, image int, b Budget) (*Result, error) {
+	if err := b.Validate(); err != nil {
+		return nil, err
+	}
+	if err := s.checkImage(image); err != nil {
+		return nil, err
+	}
+	sp, err := policy.instantiate(s, agent, 0)
+	if err != nil {
+		return nil, err
+	}
+	return s.buildResult(image, s.runSchedule(image, sp, b)), nil
+}

@@ -4,7 +4,6 @@ import (
 	"context"
 	"fmt"
 
-	"ams/internal/sched"
 	"ams/internal/serve"
 	"ams/internal/service"
 	"ams/internal/sim"
@@ -22,8 +21,15 @@ var (
 type ServeConfig struct {
 	// Workers is the number of concurrent labeling workers. Each worker
 	// owns a private clone of the agent's network (LabelBatch's cloning
-	// rule) driving one Algorithm-1 deadline policy.
+	// rule) driving one scheduling policy.
 	Workers int
+	// Policy selects the per-worker scheduling policy; the zero value
+	// means PolicyAlgorithm1, the server's historical default. With
+	// PolicyAlgorithm2 (which requires MemoryGB) the server switches to
+	// per-item parallel mode: one item's models run concurrently across
+	// the pool under the shared accountant, matching sim.RunParallel
+	// semantics.
+	Policy Policy
 	// DeadlineSec is the per-item scheduling budget, as in Label.
 	DeadlineSec float64
 	// MemoryGB, when positive, is the GPU memory budget shared by ALL
@@ -70,6 +76,12 @@ type ServeStats struct {
 	PeakMemMB float64 // maximum simultaneous GPU reservation (real server)
 	MemWaits  int64   // executions that blocked on the memory budget
 	Rejected  int64   // submits rejected with ErrQueueFull
+
+	// AvgSelectSec is the real (unscaled) seconds per item spent inside
+	// the policy's Next — the scheduling overhead of the paper's Table
+	// III, dominated by Q-network forward passes. Zero for the
+	// virtual-time sim, which models selection as free.
+	AvgSelectSec float64
 }
 
 // Server is a running concurrent labeling server over the system's
@@ -102,10 +114,11 @@ func (t *ServeTicket) Wait() *Result {
 
 // NewServer starts a concurrent labeling server driven by the agent.
 func (s *System) NewServer(agent *Agent, cfg ServeConfig) (*Server, error) {
-	if agent == nil {
-		return nil, fmt.Errorf("ams: nil agent")
+	factory, policy, err := s.serveFactory(agent, cfg)
+	if err != nil {
+		return nil, err
 	}
-	inner, err := serve.New(s.testStore, s.deadlineFactory(agent), serve.Config{
+	inner, err := serve.New(s.testStore, factory, serve.Config{
 		Config: service.Config{
 			Workers:     cfg.Workers,
 			DeadlineSec: cfg.DeadlineSec,
@@ -114,6 +127,7 @@ func (s *System) NewServer(agent *Agent, cfg ServeConfig) (*Server, error) {
 		MemoryBudgetMB: cfg.MemoryGB * 1024,
 		TimeScale:      cfg.TimeScale,
 		StatsWindow:    cfg.StatsWindow,
+		ItemParallel:   policy.parallel,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("ams: %w", err)
@@ -150,15 +164,17 @@ func (sv *Server) Close() error { return sv.inner.Close() }
 // Serve replays a Poisson arrival trace through a fresh server and
 // returns its statistics — the real-time counterpart of SimulateServe.
 func (s *System) Serve(agent *Agent, cfg ServeConfig, trace ServeTrace) (ServeStats, error) {
-	if agent == nil {
-		return ServeStats{}, fmt.Errorf("ams: nil agent")
+	factory, policy, err := s.serveFactory(agent, cfg)
+	if err != nil {
+		return ServeStats{}, err
 	}
-	rs, err := serve.Replay(s.testStore, s.deadlineFactory(agent), serve.Config{
+	rs, err := serve.Replay(s.testStore, factory, serve.Config{
 		Config:         s.traceConfig(cfg, trace),
 		QueueCap:       cfg.QueueCap,
 		MemoryBudgetMB: cfg.MemoryGB * 1024,
 		TimeScale:      cfg.TimeScale,
 		StatsWindow:    cfg.StatsWindow,
+		ItemParallel:   policy.parallel,
 	})
 	if err != nil {
 		return ServeStats{}, fmt.Errorf("ams: %w", err)
@@ -172,8 +188,9 @@ func (s *System) Serve(agent *Agent, cfg ServeConfig, trace ServeTrace) (ServeSt
 // The memory budget and queue bound do not apply: the sim models an
 // unbounded FIFO queue with serial per-item execution.
 func (s *System) SimulateServe(agent *Agent, cfg ServeConfig, trace ServeTrace) (ServeStats, error) {
-	if agent == nil {
-		return ServeStats{}, fmt.Errorf("ams: nil agent")
+	factory, _, err := s.serveFactory(agent, cfg)
+	if err != nil {
+		return ServeStats{}, err
 	}
 	svcCfg := s.traceConfig(cfg, trace)
 	if svcCfg.Workers <= 0 {
@@ -182,7 +199,7 @@ func (s *System) SimulateServe(agent *Agent, cfg ServeConfig, trace ServeTrace) 
 	if svcCfg.ArrivalRateHz <= 0 || svcCfg.DeadlineSec <= 0 || svcCfg.Items <= 0 {
 		return ServeStats{}, fmt.Errorf("ams: invalid serve trace %+v", svcCfg)
 	}
-	st := service.Run(s.testStore, s.deadlineFactory(agent), svcCfg)
+	st := service.Run(s.testStore, factory, svcCfg)
 	return fromRunStats(serve.RunStats{Stats: st, Completed: int64(st.Items)}), nil
 }
 
@@ -198,13 +215,30 @@ func (s *System) traceConfig(cfg ServeConfig, trace ServeTrace) service.Config {
 	}
 }
 
-// deadlineFactory builds the per-worker policy: a private clone of the
-// agent's network (LabelBatch's cloning rule) driving Algorithm 1's
-// cost-aware Q-greedy policy.
-func (s *System) deadlineFactory(agent *Agent) service.PolicyFactory {
-	return func(worker int) sim.DeadlinePolicy {
-		return sched.NewCostQGreedy(agent.cloneInner(), s.Zoo)
+// serveFactory resolves cfg.Policy (defaulting to Algorithm 1, the
+// server's historical behavior) and builds the per-worker policy
+// factory: each worker gets a private instantiation — and through it a
+// private clone of the agent's network, LabelBatch's cloning rule.
+func (s *System) serveFactory(agent *Agent, cfg ServeConfig) (service.PolicyFactory, Policy, error) {
+	policy := cfg.Policy
+	if !policy.valid() {
+		policy = PolicyAlgorithm1
 	}
+	if policy.parallel && cfg.MemoryGB <= 0 {
+		return nil, Policy{}, fmt.Errorf("ams: policy %q serves items in parallel and requires a memory budget", policy.Name())
+	}
+	// Validate up front so configuration errors (e.g. a missing agent)
+	// surface before any worker starts.
+	if err := policy.check(agent); err != nil {
+		return nil, Policy{}, err
+	}
+	return func(worker int) sim.Policy {
+		p, err := policy.instantiate(s, agent, uint64(worker))
+		if err != nil {
+			panic(err) // unreachable: validated above
+		}
+		return p
+	}, policy, nil
 }
 
 func fromRunStats(rs serve.RunStats) ServeStats {
@@ -221,5 +255,6 @@ func fromRunStats(rs serve.RunStats) ServeStats {
 		PeakMemMB:       rs.PeakMemMB,
 		MemWaits:        rs.MemWaits,
 		Rejected:        rs.Rejected,
+		AvgSelectSec:    rs.AvgSelectSec,
 	}
 }
