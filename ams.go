@@ -13,8 +13,15 @@
 //
 //	sys, err := ams.New(ams.Config{Dataset: ams.DatasetMSCOCO, NumImages: 1000})
 //	agent, err := sys.TrainAgent(ams.TrainOptions{Algorithm: ams.DuelingDQN})
-//	res, err := sys.Label(agent, 0, ams.Budget{DeadlineSec: 0.5})
+//	res, err := sys.Label(ctx, agent, sys.TestItem(0), ams.Budget{DeadlineSec: 0.5})
 //	for _, l := range res.Labels { fmt.Println(l.Name, l.Confidence) }
+//
+// Labeling surfaces take Items: TestItem references the built-in
+// held-out split (precomputed ground truth, Result.Recall reported),
+// while ComposeItem and GenerateItems ingest external content the
+// oracle has never seen — models run on demand, memoized per item, and
+// results report labels, models run, and time (HasRecall is false).
+// Contexts cancel mid-schedule, returning the partial labels.
 //
 // Scheduling policies are first-class: Label uses DefaultPolicy for the
 // budget shape, while LabelWith, LabelBatchWith and ServeConfig.Policy

@@ -1,8 +1,12 @@
 package ams
 
 import (
+	"context"
 	"testing"
 )
+
+// bg is the no-cancellation context the tests label under.
+var bg = context.Background()
 
 // testSystem builds a small shared system; tests run sequentially.
 var testSys = mustSystem()
@@ -82,7 +86,7 @@ func TestTrainAgentPriorityValidation(t *testing.T) {
 }
 
 func TestLabelUnconstrained(t *testing.T) {
-	res, err := testSys.Label(testAgent, 0, Budget{})
+	res, err := testSys.Label(bg, testAgent, testSys.TestItem(0), Budget{})
 	if err != nil {
 		t.Fatalf("Label: %v", err)
 	}
@@ -101,7 +105,7 @@ func TestLabelUnconstrained(t *testing.T) {
 }
 
 func TestLabelDeadline(t *testing.T) {
-	res, err := testSys.Label(testAgent, 1, Budget{DeadlineSec: 0.5})
+	res, err := testSys.Label(bg, testAgent, testSys.TestItem(1), Budget{DeadlineSec: 0.5})
 	if err != nil {
 		t.Fatalf("Label: %v", err)
 	}
@@ -111,7 +115,7 @@ func TestLabelDeadline(t *testing.T) {
 }
 
 func TestLabelMemory(t *testing.T) {
-	res, err := testSys.Label(testAgent, 2, Budget{DeadlineSec: 0.8, MemoryGB: 8})
+	res, err := testSys.Label(bg, testAgent, testSys.TestItem(2), Budget{DeadlineSec: 0.8, MemoryGB: 8})
 	if err != nil {
 		t.Fatalf("Label: %v", err)
 	}
@@ -119,19 +123,19 @@ func TestLabelMemory(t *testing.T) {
 		t.Fatalf("makespan exceeds deadline: %v", res.TimeSec)
 	}
 	// Memory without a deadline is rejected.
-	if _, err := testSys.Label(testAgent, 2, Budget{MemoryGB: 8}); err == nil {
+	if _, err := testSys.Label(bg, testAgent, testSys.TestItem(2), Budget{MemoryGB: 8}); err == nil {
 		t.Fatal("memory budget without deadline accepted")
 	}
 }
 
 func TestLabelValidation(t *testing.T) {
-	if _, err := testSys.Label(nil, 0, Budget{}); err == nil {
+	if _, err := testSys.Label(bg, nil, testSys.TestItem(0), Budget{}); err == nil {
 		t.Fatal("nil agent accepted")
 	}
-	if _, err := testSys.Label(testAgent, -1, Budget{}); err == nil {
+	if _, err := testSys.Label(bg, testAgent, testSys.TestItem(-1), Budget{}); err == nil {
 		t.Fatal("negative image accepted")
 	}
-	if _, err := testSys.Label(testAgent, testSys.NumTestImages(), Budget{}); err == nil {
+	if _, err := testSys.Label(bg, testAgent, testSys.TestItem(testSys.NumTestImages()), Budget{}); err == nil {
 		t.Fatal("out-of-range image accepted")
 	}
 }
@@ -140,11 +144,11 @@ func TestAgentBeatsRandomBaseline(t *testing.T) {
 	var agentSum, randSum float64
 	n := testSys.NumTestImages()
 	for i := 0; i < n; i++ {
-		a, err := testSys.Label(testAgent, i, Budget{})
+		a, err := testSys.Label(bg, testAgent, testSys.TestItem(i), Budget{})
 		if err != nil {
 			t.Fatal(err)
 		}
-		r, err := testSys.LabelRandom(i, Budget{}, uint64(i))
+		r, err := testSys.LabelRandom(bg, testSys.TestItem(i), Budget{}, uint64(i))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -236,7 +240,7 @@ func TestPriorityTrainingPullsModelForward(t *testing.T) {
 		var sum float64
 		n := testSys.NumTestImages()
 		for i := 0; i < n; i++ {
-			res, err := testSys.Label(a, i, Budget{})
+			res, err := testSys.Label(bg, a, testSys.TestItem(i), Budget{})
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -4,7 +4,7 @@ import "testing"
 
 func TestLabelBatchMatchesSequential(t *testing.T) {
 	images := []int{0, 1, 2, 3, 4, 5, 6, 7}
-	batch, stats, err := testSys.LabelBatch(testAgent, images, Budget{DeadlineSec: 1}, 4)
+	batch, stats, err := testSys.LabelBatch(bg, testAgent, testSys.TestItems(images...), Budget{DeadlineSec: 1}, 4)
 	if err != nil {
 		t.Fatalf("LabelBatch: %v", err)
 	}
@@ -12,7 +12,7 @@ func TestLabelBatchMatchesSequential(t *testing.T) {
 		t.Fatalf("processed %d", stats.Processed)
 	}
 	for i, img := range images {
-		seq, err := testSys.Label(testAgent, img, Budget{DeadlineSec: 1})
+		seq, err := testSys.Label(bg, testAgent, testSys.TestItem(img), Budget{DeadlineSec: 1})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -35,14 +35,14 @@ func TestLabelBatchMatchesSequential(t *testing.T) {
 
 func TestLabelBatchUnconstrainedAndMemory(t *testing.T) {
 	images := []int{0, 1, 2, 3}
-	_, stats, err := testSys.LabelBatch(testAgent, images, Budget{}, 2)
+	_, stats, err := testSys.LabelBatch(bg, testAgent, testSys.TestItems(images...), Budget{}, 2)
 	if err != nil {
 		t.Fatalf("unconstrained batch: %v", err)
 	}
 	if stats.AvgRecall < 1-1e-9 {
 		t.Fatalf("unconstrained batch recall %v", stats.AvgRecall)
 	}
-	res, _, err := testSys.LabelBatch(testAgent, images, Budget{DeadlineSec: 0.8, MemoryGB: 8}, 2)
+	res, _, err := testSys.LabelBatch(bg, testAgent, testSys.TestItems(images...), Budget{DeadlineSec: 0.8, MemoryGB: 8}, 2)
 	if err != nil {
 		t.Fatalf("memory batch: %v", err)
 	}
@@ -54,17 +54,17 @@ func TestLabelBatchUnconstrainedAndMemory(t *testing.T) {
 }
 
 func TestLabelBatchValidation(t *testing.T) {
-	if _, _, err := testSys.LabelBatch(nil, []int{0}, Budget{}, 1); err == nil {
+	if _, _, err := testSys.LabelBatch(bg, nil, testSys.TestItems(0), Budget{}, 1); err == nil {
 		t.Fatal("nil agent accepted")
 	}
-	if _, _, err := testSys.LabelBatch(testAgent, []int{-1}, Budget{}, 1); err == nil {
+	if _, _, err := testSys.LabelBatch(bg, testAgent, testSys.TestItems(-1), Budget{}, 1); err == nil {
 		t.Fatal("bad image accepted")
 	}
-	if _, _, err := testSys.LabelBatch(testAgent, []int{0}, Budget{MemoryGB: 4}, 1); err == nil {
+	if _, _, err := testSys.LabelBatch(bg, testAgent, testSys.TestItems(0), Budget{MemoryGB: 4}, 1); err == nil {
 		t.Fatal("memory-without-deadline accepted")
 	}
 	// Empty batch is fine.
-	res, stats, err := testSys.LabelBatch(testAgent, nil, Budget{}, 3)
+	res, stats, err := testSys.LabelBatch(bg, testAgent, nil, Budget{}, 3)
 	if err != nil || len(res) != 0 || stats.Processed != 0 {
 		t.Fatalf("empty batch: %v %v %v", res, stats, err)
 	}
@@ -83,7 +83,7 @@ func TestLabelBatchManyWorkers(t *testing.T) {
 		{DeadlineSec: 0.5, MemoryGB: 8},
 		{},
 	} {
-		res, stats, err := testSys.LabelBatch(testAgent, images, b, 16)
+		res, stats, err := testSys.LabelBatch(bg, testAgent, testSys.TestItems(images...), b, 16)
 		if err != nil {
 			t.Fatalf("budget %+v: %v", b, err)
 		}
@@ -92,7 +92,7 @@ func TestLabelBatchManyWorkers(t *testing.T) {
 		}
 		// Concurrency must not change the per-image answer.
 		for i := range images[:4] {
-			seq, err := testSys.Label(testAgent, images[i], b)
+			seq, err := testSys.Label(bg, testAgent, testSys.TestItem(images[i]), b)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -106,7 +106,7 @@ func TestLabelBatchManyWorkers(t *testing.T) {
 
 func TestLabelBatchDefaultWorkers(t *testing.T) {
 	images := []int{0, 1, 2}
-	res, _, err := testSys.LabelBatch(testAgent, images, Budget{DeadlineSec: 0.5}, 0)
+	res, _, err := testSys.LabelBatch(bg, testAgent, testSys.TestItems(images...), Budget{DeadlineSec: 0.5}, 0)
 	if err != nil || len(res) != 3 {
 		t.Fatalf("default workers run failed: %v", err)
 	}

@@ -16,6 +16,8 @@ import (
 	"testing"
 
 	"ams/internal/experiments"
+	"ams/internal/sched"
+	"ams/internal/sim"
 )
 
 var (
@@ -260,7 +262,7 @@ func BenchmarkLabelDeadline(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := sys.Label(agent, i%sys.NumTestImages(), Budget{DeadlineSec: 1}); err != nil {
+		if _, err := sys.Label(context.Background(), agent, sys.TestItem(i%sys.NumTestImages()), Budget{DeadlineSec: 1}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -278,7 +280,7 @@ func BenchmarkLabelMemory(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := sys.Label(agent, i%sys.NumTestImages(),
+		if _, err := sys.Label(context.Background(), agent, sys.TestItem(i%sys.NumTestImages()),
 			Budget{DeadlineSec: 1, MemoryGB: 8}); err != nil {
 			b.Fatal(err)
 		}
@@ -335,12 +337,16 @@ func benchmarkServe(b *testing.B, workers int) {
 	b.RunParallel(func(pb *testing.PB) {
 		for pb.Next() {
 			img := int(next.Add(1)) % sys.NumTestImages()
-			tk, err := srv.SubmitWait(context.Background(), img)
+			tk, err := srv.SubmitWait(context.Background(), sys.TestItem(img))
 			if err != nil {
 				b.Error(err)
 				return
 			}
-			res := tk.Wait()
+			res, err := tk.Wait(context.Background())
+			if err != nil {
+				b.Error(err)
+				return
+			}
 			if res.Recall < 0 {
 				b.Error("bad recall")
 				return
@@ -356,6 +362,47 @@ func benchmarkServe(b *testing.B, workers int) {
 func BenchmarkServe1Worker(b *testing.B)  { benchmarkServe(b, 1) }
 func BenchmarkServe4Workers(b *testing.B) { benchmarkServe(b, 4) }
 func BenchmarkServe8Workers(b *testing.B) { benchmarkServe(b, 8) }
+
+// BenchmarkSelectOverhead quantifies the Q-prediction memo: the same
+// Algorithm-2 serving workload with and without the per-schedule cache,
+// reporting the real per-item selection overhead (ServeStats.AvgSelectSec,
+// the paper's Table III number) as select-ms/item. The parallel packer
+// re-asks the policy at every launch of a scheduling point, so the
+// cached variant's forward passes collapse to one per distinct labeling
+// state.
+func benchmarkSelectOverhead(b *testing.B, cached bool) {
+	sys, agent := serveBench(b)
+	policy := PolicyAlgorithm2
+	if !cached {
+		// The registry policy wraps the agent in the memo; this variant
+		// bypasses it to measure the raw forward-pass cost.
+		policy = Policy{name: "algorithm2-uncached", parallel: true, needsAgent: true,
+			build: func(s *System, ag *Agent, _ uint64) sim.Policy {
+				return sched.NewMemoryPacker(ag.cloneInner(), s.Zoo)
+			}}
+	}
+	cfg := ServeConfig{
+		Workers:     2,
+		Policy:      policy,
+		DeadlineSec: 0.8,
+		MemoryGB:    8,
+		TimeScale:   1e-6,
+	}
+	trace := ServeTrace{ArrivalRateHz: 1e6, Items: 40, Seed: 3}
+	b.ResetTimer()
+	var selectSec float64
+	for i := 0; i < b.N; i++ {
+		stats, err := sys.Serve(context.Background(), agent, cfg, trace, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		selectSec += stats.AvgSelectSec
+	}
+	b.ReportMetric(selectSec/float64(b.N)*1e3, "select-ms/item")
+}
+
+func BenchmarkSelectOverheadCached(b *testing.B)   { benchmarkSelectOverhead(b, true) }
+func BenchmarkSelectOverheadUncached(b *testing.B) { benchmarkSelectOverhead(b, false) }
 
 // BenchmarkTrainEpoch measures one DRL training epoch.
 func BenchmarkTrainEpoch(b *testing.B) {

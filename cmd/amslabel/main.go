@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -32,6 +33,7 @@ func main() {
 		memory     = flag.Float64("memory", 0, "GPU memory budget in GB (0 = serial)")
 		epochs     = flag.Int("epochs", 8, "epochs for the quick agent when -agent is empty")
 		policyName = flag.String("policy", "", "scheduling policy (algorithm1, algorithm2, qgreedy, random); empty = the budget's default")
+		external   = flag.Bool("external", false, "label freshly generated external items (no precomputed ground truth) instead of the held-out split")
 	)
 	flag.Parse()
 
@@ -66,23 +68,51 @@ func main() {
 	}
 	policy = policy.WithSeed(*seed)
 	fmt.Printf("scheduling with policy %s\n", policy.Name())
-	if *n > sys.NumTestImages() {
-		*n = sys.NumTestImages()
+
+	// The item source: held-out test images (with ground-truth recall) by
+	// default, or externally generated scenes the oracle has never seen.
+	var items []ams.Item
+	if *external {
+		items = sys.GenerateItems(*n, *seed)
+		fmt.Printf("labeling %d external items (no precomputed ground truth)\n", len(items))
+	} else {
+		if *n > sys.NumTestImages() {
+			*n = sys.NumTestImages()
+		}
+		for i := 0; i < *n; i++ {
+			items = append(items, sys.TestItem(i))
+		}
 	}
+
+	ctx := context.Background()
 	var recallSum, timeSum float64
-	for i := 0; i < *n; i++ {
-		res, err := sys.LabelWith(policy, agent, i, budget)
+	recallN := 0
+	for i, item := range items {
+		res, err := sys.LabelWith(ctx, policy, agent, item, budget)
 		if err != nil {
 			log.Fatalf("amslabel: %v", err)
 		}
-		recallSum += res.Recall
 		timeSum += res.TimeSec
-		fmt.Printf("\nimage %d: %d models, %.2fs, recall %.2f\n",
-			i, len(res.ModelsRun), res.TimeSec, res.Recall)
+		name := fmt.Sprintf("image %d", i)
+		if res.ItemID != "" {
+			name = res.ItemID
+		}
+		if res.HasRecall {
+			recallSum += res.Recall
+			recallN++
+			fmt.Printf("\n%s: %d models, %.2fs, recall %.2f\n",
+				name, len(res.ModelsRun), res.TimeSec, res.Recall)
+		} else {
+			fmt.Printf("\n%s: %d models, %.2fs\n", name, len(res.ModelsRun), res.TimeSec)
+		}
 		for _, l := range res.ValuableLabels() {
 			fmt.Printf("  %-32s %.2f  [%s]\n", l.Name, l.Confidence, l.Task)
 		}
 	}
-	fmt.Printf("\n%d images: avg recall %.3f, avg time %.2fs (no-policy would cost %.2fs/image)\n",
-		*n, recallSum/float64(*n), timeSum/float64(*n), sys.NoPolicyTimeSec())
+	fmt.Printf("\n%d items: avg time %.2fs (no-policy would cost %.2fs/image)\n",
+		len(items), timeSum/float64(len(items)), sys.NoPolicyTimeSec())
+	if recallN > 0 {
+		fmt.Printf("avg recall %.3f over the %d ground-truth-backed items\n",
+			recallSum/float64(recallN), recallN)
+	}
 }

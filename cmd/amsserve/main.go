@@ -30,6 +30,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -52,9 +53,10 @@ func main() {
 		timescale  = flag.Float64("timescale", 0.05, "real seconds per simulated second of model time")
 		policyName = flag.String("policy", "algorithm1", "scheduling policy: algorithm1, algorithm2 (needs -memory; per-item parallel), qgreedy, random")
 
-		rate    = flag.Int("rate", 4, "mean arrivals per simulated second (Poisson)")
-		items   = flag.Int("items", 200, "arrival trace length")
-		compare = flag.Bool("compare", false, "also run the virtual-time simulation of the same workload")
+		rate     = flag.Int("rate", 4, "mean arrivals per simulated second (Poisson)")
+		items    = flag.Int("items", 200, "arrival trace length")
+		compare  = flag.Bool("compare", false, "also run the virtual-time simulation of the same workload")
+		external = flag.Bool("external", false, "serve freshly generated external items (no precomputed ground truth) instead of cycling the held-out split")
 	)
 	flag.Parse()
 
@@ -93,9 +95,18 @@ func main() {
 	}
 	trace := ams.ServeTrace{ArrivalRateHz: float64(*rate), Items: *items, Seed: *seed}
 
-	fmt.Printf("\nserving %d items at %d/s with %d workers (policy %s, deadline %.2fs, mem %.1f GB, timescale %g)\n",
-		*items, *rate, *workers, policy.Name(), *deadline, *memory, *timescale)
-	real, err := sys.Serve(agent, cfg, trace)
+	// The item source: the built-in test split (cycled) by default, or a
+	// stream of externally generated scenes fed through the same door.
+	var src ams.SceneSource
+	kind := "test split"
+	if *external {
+		src = ams.ItemSource(sys.GenerateItems(*items, *seed)...)
+		kind = "external items"
+	}
+
+	fmt.Printf("\nserving %d %s at %d/s with %d workers (policy %s, deadline %.2fs, mem %.1f GB, timescale %g)\n",
+		*items, kind, *rate, *workers, policy.Name(), *deadline, *memory, *timescale)
+	real, err := sys.Serve(context.Background(), agent, cfg, trace, src)
 	if err != nil {
 		log.Fatalf("amsserve: %v", err)
 	}
@@ -121,7 +132,11 @@ func printStats(name string, s ams.ServeStats) {
 	fmt.Printf("  %-18s %8.3f s\n", "avg queue wait", s.AvgQueueWaitSec)
 	fmt.Printf("  %-18s %8.3f s\n", "avg latency", s.AvgLatencySec)
 	fmt.Printf("  %-18s %8.3f s\n", "p95 latency", s.P95LatencySec)
-	fmt.Printf("  %-18s %8.3f\n", "avg recall", s.AvgRecall)
+	if s.RecallItems > 0 {
+		fmt.Printf("  %-18s %8.3f (over %d ground-truth items)\n", "avg recall", s.AvgRecall, s.RecallItems)
+	} else {
+		fmt.Printf("  %-18s %8s (external items: no ground truth)\n", "avg recall", "n/a")
+	}
 	fmt.Printf("  %-18s %8.2f /s\n", "throughput", s.ThroughputHz)
 	fmt.Printf("  %-18s %8.1f %%\n", "utilization", 100*s.Utilization)
 	fmt.Printf("  %-18s %8.2f s\n", "horizon", s.HorizonSec)

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -61,10 +62,10 @@ func main() {
 			return b
 		}
 		ab := price(func(i int) (*ams.Result, error) {
-			return sys.Label(agent, i, ams.Budget{DeadlineSec: budget})
+			return sys.Label(context.Background(), agent, sys.TestItem(i), ams.Budget{DeadlineSec: budget})
 		})
 		rb := price(func(i int) (*ams.Result, error) {
-			return sys.LabelRandom(i, ams.Budget{DeadlineSec: budget}, uint64(i))
+			return sys.LabelRandom(context.Background(), sys.TestItem(i), ams.Budget{DeadlineSec: budget}, uint64(i))
 		})
 		fmt.Printf("%-10.1f  $%-6.2f p%d/s%d/b%d       $%-6.2f p%d/s%d/b%d\n",
 			budget,

@@ -1,13 +1,24 @@
 // Labelserver: run the real concurrent labeling server. A pool of
-// worker goroutines labels submitted images under a per-item deadline
+// worker goroutines labels submitted items under a per-item deadline
 // while one shared Algorithm-2 memory accountant keeps the whole pool
 // inside a global GPU budget; clients feel backpressure through the
 // bounded admission queue.
+//
+// The server's front door takes arbitrary items, not just the library's
+// own test split: here one client submits held-out images (whose results
+// report recall against the precomputed ground truth) while another
+// ingests freshly generated external scenes the oracle has never seen
+// (labels, models run and time only — production's view). Completions
+// are consumed as one stream through Results, with no tickets held.
+//
+// The -images/-epochs/-timescale flags exist so CI can smoke-run the
+// example at a tiny scale.
 package main
 
 import (
 	"context"
 	"errors"
+	"flag"
 	"fmt"
 	"log"
 	"sync"
@@ -16,65 +27,104 @@ import (
 )
 
 func main() {
-	sys, err := ams.New(ams.Config{Dataset: ams.DatasetMSCOCO, NumImages: 400, Seed: 7})
+	images := flag.Int("images", 400, "synthetic images to generate")
+	epochs := flag.Int("epochs", 8, "agent training epochs")
+	timescale := flag.Float64("timescale", 0.001, "real seconds per simulated second")
+	flag.Parse()
+
+	sys, err := ams.New(ams.Config{Dataset: ams.DatasetMSCOCO, NumImages: *images, Seed: 7})
 	if err != nil {
 		log.Fatal(err)
 	}
 	agent, err := sys.TrainAgent(ams.TrainOptions{
-		Algorithm: ams.DuelingDQN, Epochs: 8, Hidden: []int{96}, Seed: 7,
+		Algorithm: ams.DuelingDQN, Epochs: *epochs, Hidden: []int{96}, Seed: 7,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	// A 4-worker server sharing a 6 GB GPU budget, replayed at 1000x
-	// real-time so the example finishes instantly. ServeConfig.Policy
-	// picks the per-worker scheduler; ams.PolicyAlgorithm2 would instead
-	// run each item's models in parallel across the pool.
+	// A 4-worker server sharing a 6 GB GPU budget, replayed fast so the
+	// example finishes instantly. ServeConfig.Policy picks the per-worker
+	// scheduler; ams.PolicyAlgorithm2 would instead run each item's
+	// models in parallel across the pool.
 	srv, err := sys.NewServer(agent, ams.ServeConfig{
 		Workers:     4,
 		Policy:      ams.PolicyAlgorithm1,
 		DeadlineSec: 0.5,
 		MemoryGB:    6,
 		QueueCap:    8,
-		TimeScale:   0.001,
+		TimeScale:   *timescale,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	// Three clients submit concurrently; SubmitWait blocks when the
-	// bounded queue is saturated (Submit would return ErrQueueFull).
+	// Subscribe to the completion stream BEFORE submitting: results are
+	// consumed here as they finish, no tickets held anywhere.
+	results := srv.Results()
+	consumed := make(chan struct{})
+	go func() {
+		defer close(consumed)
+		var oracleBacked, external int
+		for res := range results {
+			if res.HasRecall {
+				oracleBacked++
+				if oracleBacked == 1 {
+					fmt.Printf("test image %3d: %2d models, %.2fs schedule, recall %.2f\n",
+						res.Image, len(res.ModelsRun), res.TimeSec, res.Recall)
+				}
+			} else {
+				external++
+				if external == 1 {
+					fmt.Printf("external %q: %2d models, %.2fs schedule (no ground truth)\n",
+						res.ItemID, len(res.ModelsRun), res.TimeSec)
+				}
+			}
+		}
+		fmt.Printf("stream closed: %d oracle-backed + %d external completions\n",
+			oracleBacked, external)
+	}()
+
 	var wg sync.WaitGroup
-	for client := 0; client < 3; client++ {
+	// Client 1+2: held-out test images through the built-in source.
+	for client := 0; client < 2; client++ {
 		wg.Add(1)
 		go func(client int) {
 			defer wg.Done()
 			for i := 0; i < 10; i++ {
 				img := (client*10 + i) % sys.NumTestImages()
-				tk, err := srv.SubmitWait(context.Background(), img)
-				if errors.Is(err, ams.ErrServerClosed) {
-					return
-				}
-				if err != nil {
+				if _, err := srv.SubmitWait(context.Background(), sys.TestItem(img)); err != nil {
+					if errors.Is(err, ams.ErrServerClosed) {
+						return
+					}
 					log.Fatal(err)
-				}
-				res := tk.Wait()
-				if i == 0 {
-					fmt.Printf("client %d, image %3d: %2d models, %.2fs schedule, recall %.2f\n",
-						client, res.Image, len(res.ModelsRun), res.TimeSec, res.Recall)
 				}
 			}
 		}(client)
 	}
+	// Client 3: external items the oracle has never seen, same door.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for _, item := range sys.GenerateItems(10, 99) {
+			if _, err := srv.SubmitWait(context.Background(), item); err != nil {
+				if errors.Is(err, ams.ErrServerClosed) {
+					return
+				}
+				log.Fatal(err)
+			}
+		}
+	}()
 	wg.Wait()
 	if err := srv.Close(); err != nil {
 		log.Fatal(err)
 	}
+	<-consumed // the results channel closes once the server drains
 
 	s := srv.Stats()
-	fmt.Printf("\n%d items served: avg latency %.3fs (p95 %.3fs), recall %.2f, throughput %.1f/s\n",
-		s.Items, s.AvgLatencySec, s.P95LatencySec, s.AvgRecall, s.ThroughputHz)
+	fmt.Printf("\n%d items served: avg latency %.3fs (p95 %.3fs), throughput %.1f/s\n",
+		s.Items, s.AvgLatencySec, s.P95LatencySec, s.ThroughputHz)
+	fmt.Printf("recall %.2f over the %d ground-truth-backed items\n", s.AvgRecall, s.RecallItems)
 	fmt.Printf("peak GPU memory %0.f MB of the %0.f MB budget (%d executions waited)\n",
 		s.PeakMemMB, 6.0*1024, s.MemWaits)
 }

@@ -1,10 +1,13 @@
 // Photoalbum: comprehensive labeling of a mixed photo collection under a
 // per-photo deadline — the image-retrieval / album-search scenario from
 // the paper's introduction. Compares the agent-driven Algorithm 1 against
-// the random baseline and the optimal* reference across deadlines.
+// the random baseline and the optimal* reference across deadlines, then
+// ingests user photos the library never generated — described by their
+// content — through the same labeling door to build a keyword index.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -12,6 +15,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	// MirFlickr mimics a social photo collection: people, scenes, pets.
 	sys, err := ams.New(ams.Config{Dataset: ams.DatasetMirFlickr, NumImages: 400, Seed: 21})
 	if err != nil {
@@ -31,11 +35,11 @@ func main() {
 		var agentR, randR, optR float64
 		for i := 0; i < n; i++ {
 			b := ams.Budget{DeadlineSec: deadline}
-			a, err := sys.Label(agent, i, b)
+			a, err := sys.Label(ctx, agent, sys.TestItem(i), b)
 			if err != nil {
 				log.Fatal(err)
 			}
-			r, err := sys.LabelRandom(i, b, uint64(i))
+			r, err := sys.LabelRandom(ctx, sys.TestItem(i), b, uint64(i))
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -51,21 +55,45 @@ func main() {
 			deadline, agentR/float64(n), randR/float64(n), optR/float64(n))
 	}
 
-	// Build a searchable keyword index from one fully labeled photo.
-	fmt.Println("\nsample keyword index entries (photo 0, unconstrained):")
-	res, err := sys.Label(agent, 0, ams.Budget{})
+	// Ingest the user's own photos: content the library never generated,
+	// described by what is in them, labeled through the same door. A
+	// batch call fans the album across workers; each result feeds the
+	// keyword index. External photos carry no ground truth, so results
+	// report labels, models run and time (HasRecall is false).
+	specs := []ams.SceneSpec{
+		{ID: "beach-day.jpg", Place: "place/beach", Persons: 3, Faces: 2,
+			Action: "action/swimming", Objects: []string{"object/surfboard"}, Seed: 1},
+		{ID: "pub-night.jpg", Place: "place/pub", Persons: 4, Faces: 4,
+			Action: "action/drinking beer", Emotion: "emotion/happy", Seed: 2},
+		{ID: "dog-walk.jpg", Place: "place/park", Persons: 1, Faces: 1,
+			Action: "action/walking dog", Dog: "dog/golden retriever", Seed: 3},
+	}
+	album := make([]ams.Item, 0, len(specs))
+	for _, spec := range specs {
+		item, err := sys.ComposeItem(spec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		album = append(album, item)
+	}
+	results, stats, err := sys.LabelBatch(ctx, agent, album, ams.Budget{DeadlineSec: 1}, 2)
 	if err != nil {
 		log.Fatal(err)
 	}
-	byTask := map[string][]string{}
-	for _, l := range res.ValuableLabels() {
-		byTask[l.Task] = append(byTask[l.Task], l.Name)
-	}
-	for task, names := range byTask {
-		limit := len(names)
-		if limit > 4 {
-			limit = 4
+	fmt.Printf("\ningested %d user photos (avg %.2fs each); keyword index:\n",
+		stats.Processed, stats.AvgTimeSec)
+	for _, res := range results {
+		byTask := map[string][]string{}
+		for _, l := range res.ValuableLabels() {
+			byTask[l.Task] = append(byTask[l.Task], l.Name)
 		}
-		fmt.Printf("  %-28s %v\n", task+":", names[:limit])
+		fmt.Printf("  %s (%d models):\n", res.ItemID, len(res.ModelsRun))
+		for task, names := range byTask {
+			limit := len(names)
+			if limit > 4 {
+				limit = 4
+			}
+			fmt.Printf("    %-26s %v\n", task+":", names[:limit])
+		}
 	}
 }

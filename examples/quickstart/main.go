@@ -1,8 +1,13 @@
 // Quickstart: train a small adaptive-model-scheduling agent and label a
 // few images, comparing its cost against running every model.
+//
+// The -images/-epochs flags exist so CI can smoke-run the example at a
+// tiny scale; the defaults reproduce the full walkthrough.
 package main
 
 import (
+	"context"
+	"flag"
 	"fmt"
 	"log"
 
@@ -10,9 +15,14 @@ import (
 )
 
 func main() {
+	images := flag.Int("images", 400, "synthetic images to generate")
+	epochs := flag.Int("epochs", 8, "agent training epochs")
+	flag.Parse()
+	ctx := context.Background()
+
 	// 1. Build a system: a synthetic MSCOCO-like dataset, the 30-model
 	//    zoo, and precomputed ground truth.
-	sys, err := ams.New(ams.Config{Dataset: ams.DatasetMSCOCO, NumImages: 400, Seed: 7})
+	sys, err := ams.New(ams.Config{Dataset: ams.DatasetMSCOCO, NumImages: *images, Seed: 7})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -22,7 +32,7 @@ func main() {
 	// 2. Train a DuelingDQN agent on the training split.
 	agent, err := sys.TrainAgent(ams.TrainOptions{
 		Algorithm: ams.DuelingDQN,
-		Epochs:    8,
+		Epochs:    *epochs,
 		Hidden:    []int{96},
 		Seed:      7,
 	})
@@ -34,12 +44,13 @@ func main() {
 	//    runs models it predicts valuable until everything is recalled.
 	fmt.Println("\nunconstrained labeling (agent decides what to run):")
 	var agentTime, randomTime float64
-	for i := 0; i < 5; i++ {
-		res, err := sys.Label(agent, i, ams.Budget{})
+	n := min(5, sys.NumTestImages())
+	for i := 0; i < n; i++ {
+		res, err := sys.Label(ctx, agent, sys.TestItem(i), ams.Budget{})
 		if err != nil {
 			log.Fatal(err)
 		}
-		rnd, err := sys.LabelRandom(i, ams.Budget{}, uint64(i))
+		rnd, err := sys.LabelRandom(ctx, sys.TestItem(i), ams.Budget{}, uint64(i))
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -51,17 +62,43 @@ func main() {
 			fmt.Printf("      %-28s %.2f\n", l.Name, l.Confidence)
 		}
 	}
-	fmt.Printf("\nagent %.2fs vs random %.2fs over 5 images (all valuable labels recalled)\n",
-		agentTime, randomTime)
+	fmt.Printf("\nagent %.2fs vs random %.2fs over %d images (all valuable labels recalled)\n",
+		agentTime, randomTime, n)
 
 	// 4. Label under a tight deadline: Algorithm 1 picks the models with
 	//    the best predicted value per unit time.
 	fmt.Println("\n0.5s-deadline labeling (Algorithm 1):")
-	res, err := sys.Label(agent, 0, ams.Budget{DeadlineSec: 0.5})
+	res, err := sys.Label(ctx, agent, sys.TestItem(0), ams.Budget{DeadlineSec: 0.5})
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("  ran %v in %.2fs, recall %.2f\n", res.ModelsRun, res.TimeSec, res.Recall)
+
+	// 5. The front door for YOUR data: describe a scene the library never
+	//    generated and label it the same way. External items have no
+	//    precomputed ground truth, so the result reports labels, models
+	//    run and time — no recall (HasRecall is false).
+	item, err := sys.ComposeItem(ams.SceneSpec{
+		ID:      "user-photo-1",
+		Place:   "place/beach",
+		Objects: []string{"object/dog", "object/sports ball"},
+		Persons: 2, Faces: 1,
+		Action: "action/playing tennis",
+		Dog:    "dog/labrador",
+		Seed:   42,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ext, err := sys.Label(ctx, agent, item, ams.Budget{DeadlineSec: 0.5})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nexternal item %q: %d models in %.2fs (recall reported: %v)\n",
+		ext.ItemID, len(ext.ModelsRun), ext.TimeSec, ext.HasRecall)
+	for _, l := range ext.ValuableLabels()[:min(5, len(ext.ValuableLabels()))] {
+		fmt.Printf("  %-28s %.2f\n", l.Name, l.Confidence)
+	}
 }
 
 func min(a, b int) int {

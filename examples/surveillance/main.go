@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -40,7 +41,7 @@ func main() {
 	avgPos := func(a *ams.Agent) float64 {
 		var sum float64
 		for i := 0; i < n; i++ {
-			res, err := sys.Label(a, i, ams.Budget{})
+			res, err := sys.Label(context.Background(), a, sys.TestItem(i), ams.Budget{})
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -69,7 +70,7 @@ func main() {
 		frames = n
 	}
 	for i := 0; i < frames; i++ {
-		res, err := sys.Label(prioritized, i, ams.Budget{DeadlineSec: 0.8, MemoryGB: 8})
+		res, err := sys.Label(context.Background(), prioritized, sys.TestItem(i), ams.Budget{DeadlineSec: 0.8, MemoryGB: 8})
 		if err != nil {
 			log.Fatal(err)
 		}

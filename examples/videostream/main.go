@@ -2,9 +2,14 @@
 // arrives in chunks. For such data the paper's introduction observes that
 // a simple explore–exploit policy works extremely well: probe all models
 // at the head of each chunk, then run only the discovered valuable subset.
+//
+// The second half feeds a live "camera feed" of externally generated
+// frames — items the oracle has never precomputed — through the real
+// concurrent server's ingestion door, consuming completions as a stream.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -33,4 +38,59 @@ func main() {
 	}
 	fmt.Printf("\nno-policy reference: %.2fs per frame\n", sys.NoPolicyTimeSec())
 	fmt.Println("longer chunks amortize exploration; more exploration raises recall")
+
+	// --- Live ingestion: external frames through the real server --------
+	agent, err := sys.TrainAgent(ams.TrainOptions{
+		Algorithm: ams.DuelingDQN, Epochs: 6, Hidden: []int{96}, Seed: 55,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv, err := sys.NewServer(agent, ams.ServeConfig{
+		Workers:     2,
+		DeadlineSec: 0.5,
+		TimeScale:   0.001, // replay fast; production would use 1.0
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	results := srv.Results() // subscribe before submitting
+
+	// Each generated item stands in for a frame arriving off-camera:
+	// content the library did not synthesize for itself, labeled through
+	// the same scheduling machinery, on demand.
+	frames := sys.GenerateItems(24, 1234)
+	go func() {
+		defer srv.Close() // closing ends the Results stream below
+		for _, frame := range frames {
+			if _, err := srv.SubmitWait(context.Background(), frame); err != nil {
+				log.Printf("submit: %v", err)
+				return
+			}
+		}
+	}()
+
+	fmt.Printf("\nstreaming %d external frames through the server:\n", len(frames))
+	var n, models int
+	var timeSec float64
+	for res := range results {
+		n++
+		models += len(res.ModelsRun)
+		timeSec += res.TimeSec
+		if n <= 3 {
+			labels := res.ValuableLabels()
+			show := len(labels)
+			if show > 3 {
+				show = 3
+			}
+			names := make([]string, 0, show)
+			for _, l := range labels[:show] {
+				names = append(names, l.Name)
+			}
+			fmt.Printf("  %-12s %2d models, %.2fs, labels %v\n",
+				res.ItemID, len(res.ModelsRun), res.TimeSec, names)
+		}
+	}
+	fmt.Printf("%d frames labeled: avg %.1f models, %.2fs each (no-policy: %.2fs)\n",
+		n, float64(models)/float64(n), timeSec/float64(n), sys.NoPolicyTimeSec())
 }

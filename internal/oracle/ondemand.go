@@ -1,0 +1,166 @@
+package oracle
+
+import (
+	"fmt"
+	"sync"
+
+	"ams/internal/synth"
+	"ams/internal/zoo"
+)
+
+// ExternalItem is one externally ingested scene with lazily computed,
+// memoized per-model outputs: the first Output(m) runs model m's
+// inference, later calls replay the memo. The memo travels with the item,
+// so labeling the same item on several surfaces (Label, a server, a
+// batch) never re-executes a model. Safe for concurrent use.
+type ExternalItem struct {
+	z     *zoo.Zoo
+	scene synth.Scene
+
+	mu    sync.Mutex
+	outs  []zoo.Output
+	done  []bool
+	truth *Truth // nil unless SetTruth (or DeriveTruth) supplied one
+}
+
+// NewExternalItem wraps a scene for on-demand execution against the zoo.
+func NewExternalItem(z *zoo.Zoo, scene synth.Scene) *ExternalItem {
+	return &ExternalItem{
+		z:     z,
+		scene: scene,
+		outs:  make([]zoo.Output, len(z.Models)),
+		done:  make([]bool, len(z.Models)),
+	}
+}
+
+// Scene returns the item's latent content.
+func (it *ExternalItem) Scene() *synth.Scene { return &it.scene }
+
+// Output runs model m on the item if it has not run yet and returns the
+// (memoized) result.
+func (it *ExternalItem) Output(m int) zoo.Output {
+	it.mu.Lock()
+	defer it.mu.Unlock()
+	if !it.done[m] {
+		it.outs[m] = it.z.Models[m].Infer(&it.scene)
+		it.done[m] = true
+	}
+	return it.outs[m]
+}
+
+// SetTruth attaches known ground truth to the item, enabling recall
+// reporting — evaluation harnesses use this; production ingestion has no
+// truth to attach.
+func (it *ExternalItem) SetTruth(t *Truth) {
+	it.mu.Lock()
+	it.truth = t
+	it.mu.Unlock()
+}
+
+// Truth returns the attached ground truth, or nil.
+func (it *ExternalItem) Truth() *Truth {
+	it.mu.Lock()
+	defer it.mu.Unlock()
+	return it.truth
+}
+
+// DeriveTruth computes a scene's ground truth by executing every model —
+// the full-cost operation the Store performs per scene at Build time.
+// Evaluation-only: deriving truth costs exactly the "no policy" schedule
+// the framework exists to avoid.
+func DeriveTruth(z *zoo.Zoo, scene *synth.Scene) *Truth {
+	outputs := make([]zoo.Output, len(z.Models))
+	for mi, m := range z.Models {
+		outputs[mi] = m.Infer(scene)
+	}
+	truth, _ := deriveTruth(z, outputs)
+	return &truth
+}
+
+// OnDemand is the lazy Executor: an optional precomputed base (the test
+// split, say) extended by externally ingested items that are executed
+// on demand, model by model. Indices [0, base.NumItems()) address the
+// base; Add appends external items after it. Safe for concurrent use —
+// the serving layer Adds and reads from many goroutines.
+type OnDemand struct {
+	z    *zoo.Zoo
+	base *Store // may be nil: a purely external executor
+
+	mu    sync.RWMutex
+	items []*ExternalItem
+}
+
+var _ Executor = (*OnDemand)(nil)
+
+// NewOnDemand returns an on-demand executor over the zoo, optionally
+// layered on a precomputed base store (which must share the zoo).
+func NewOnDemand(z *zoo.Zoo, base *Store) *OnDemand {
+	if base != nil && base.Zoo != z {
+		panic("oracle: on-demand base store built against a different zoo")
+	}
+	return &OnDemand{z: z, base: base}
+}
+
+// Add ingests one external item and returns its index.
+func (o *OnDemand) Add(it *ExternalItem) int {
+	if it == nil {
+		panic("oracle: nil external item")
+	}
+	if it.z != o.z {
+		panic("oracle: external item built against a different zoo")
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.items = append(o.items, it)
+	return o.baseLen() + len(o.items) - 1
+}
+
+func (o *OnDemand) baseLen() int {
+	if o.base == nil {
+		return 0
+	}
+	return o.base.NumItems()
+}
+
+// NumItems implements Executor.
+func (o *OnDemand) NumItems() int {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	return o.baseLen() + len(o.items)
+}
+
+// NumModels implements Executor.
+func (o *OnDemand) NumModels() int { return len(o.z.Models) }
+
+// Model implements Executor.
+func (o *OnDemand) Model(m int) *zoo.Model { return o.z.Models[m] }
+
+// item resolves an external index (panicking on out-of-range, matching
+// the Store's behavior for bad scene indices).
+func (o *OnDemand) item(i int) *ExternalItem {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	pos := i - o.baseLen()
+	if pos < 0 || pos >= len(o.items) {
+		panic(fmt.Sprintf("oracle: on-demand item index %d out of range", i))
+	}
+	return o.items[pos]
+}
+
+// Output implements Executor: precomputed for base items, lazy and
+// memoized for ingested ones.
+func (o *OnDemand) Output(i, m int) zoo.Output {
+	if i < o.baseLen() {
+		return o.base.Output(i, m)
+	}
+	return o.item(i).Output(m)
+}
+
+// Truth implements Executor: known for base items, usually nil for
+// ingested ones.
+func (o *OnDemand) Truth(i int) *Truth {
+	if i < o.baseLen() {
+		return o.base.Truth(i)
+	}
+	return o.item(i).Truth()
+}

@@ -1,10 +1,17 @@
-// Package oracle precomputes the "no policy" ground truth the paper's
-// evaluation relies on: the output of every model on every image of a
-// dataset, stored once ("We executed all 30 models on 5 datasets and
-// stored the output labels and confidences"). On top of the store it
-// provides the valuable-label bookkeeping (value, recall) and the labeling
-// state tracker that both the DRL training environment and the policy
-// evaluation loops consume.
+// Package oracle provides the execution substrate the schedulers run on.
+//
+// Its historical core is the precomputed Store: the "no policy" ground
+// truth the paper's evaluation relies on — the output of every model on
+// every image of a dataset, stored once ("We executed all 30 models on 5
+// datasets and stored the output labels and confidences"). Deployment,
+// however, labels *incoming* data whose outputs nobody has precomputed,
+// so the package now abstracts execution behind the narrow Executor
+// interface with two implementations: the Store (precomputed, with
+// ground truth) and the OnDemand path in ondemand.go (lazy per
+// (item, model) inference over externally ingested scenes, memoized, no
+// ground truth). The Tracker — the labeling-state bookkeeping that both
+// DRL training and every policy evaluation loop consume — runs over
+// either.
 package oracle
 
 import (
@@ -15,6 +22,37 @@ import (
 	"ams/internal/zoo"
 )
 
+// Truth is the valuable-label ground truth of one item: the per-label
+// truth values (profit-weighted best confidence across all models) and
+// their sum, the denominator of the recall rate. Externally ingested
+// items usually have no Truth — computing one requires executing every
+// model, which is exactly what scheduling avoids.
+type Truth struct {
+	LabelValue map[int]float64 // valuable label -> its truth value
+	TotalValue float64         // sum of LabelValue
+}
+
+// Executor is the narrow contract every scheduler-facing execution layer
+// implements: per-item model outputs plus per-model costs. The Store
+// serves precomputed outputs; OnDemand runs zoo inference lazily. All
+// executors must be safe for concurrent readers (the serving layer calls
+// Output from many goroutines).
+type Executor interface {
+	// NumItems is the number of addressable items. Implementations may
+	// grow (OnDemand ingestion); indices once valid stay valid.
+	NumItems() int
+	// NumModels is the size of the model zoo.
+	NumModels() int
+	// Model returns the m-th model (costs, name, supported labels).
+	Model(m int) *zoo.Model
+	// Output returns model m's output on item i, executing the model if
+	// the executor is lazy. Repeated calls agree (outputs are memoized
+	// or precomputed).
+	Output(i, m int) zoo.Output
+	// Truth returns item i's ground truth, or nil when it is unknown.
+	Truth(i int) *Truth
+}
+
 // Store holds the precomputed execution results for one scene collection.
 type Store struct {
 	Zoo    *zoo.Zoo
@@ -23,10 +61,11 @@ type Store struct {
 	outputs [][]zoo.Output // [scene][model]
 
 	// Derived per-scene ground truth.
-	labelValue []map[int]float64 // valuable label -> its truth value (best conf)
-	totalValue []float64         // sum of labelValue
-	modelValue [][]float64       // [scene][model]: static true output value
+	truths     []Truth
+	modelValue [][]float64 // [scene][model]: static true output value
 }
+
+var _ Executor = (*Store)(nil)
 
 // Build executes every model on every scene once and indexes the results.
 func Build(z *zoo.Zoo, scenes []synth.Scene) *Store {
@@ -37,8 +76,7 @@ func Build(z *zoo.Zoo, scenes []synth.Scene) *Store {
 		Zoo:        z,
 		Scenes:     scenes,
 		outputs:    make([][]zoo.Output, len(scenes)),
-		labelValue: make([]map[int]float64, len(scenes)),
-		totalValue: make([]float64, len(scenes)),
+		truths:     make([]Truth, len(scenes)),
 		modelValue: make([][]float64, len(scenes)),
 	}
 	for i := range scenes {
@@ -56,19 +94,28 @@ func Build(z *zoo.Zoo, scenes []synth.Scene) *Store {
 // NumScenes returns the number of stored scenes.
 func (st *Store) NumScenes() int { return len(st.Scenes) }
 
+// NumItems implements Executor.
+func (st *Store) NumItems() int { return len(st.Scenes) }
+
 // NumModels returns the number of models in the zoo.
 func (st *Store) NumModels() int { return len(st.Zoo.Models) }
+
+// Model implements Executor.
+func (st *Store) Model(m int) *zoo.Model { return st.Zoo.Models[m] }
 
 // Output returns the precomputed output of model m on scene i.
 func (st *Store) Output(i, m int) zoo.Output { return st.outputs[i][m] }
 
+// Truth implements Executor: the store knows every scene's ground truth.
+func (st *Store) Truth(i int) *Truth { return &st.truths[i] }
+
 // TotalValue returns the summed truth value of every valuable label of
 // scene i (the denominator of the recall rate).
-func (st *Store) TotalValue(i int) float64 { return st.totalValue[i] }
+func (st *Store) TotalValue(i int) float64 { return st.truths[i].TotalValue }
 
 // LabelValue returns the truth value of a valuable label on scene i
 // (0 when the label is not valuable there).
-func (st *Store) LabelValue(i, label int) float64 { return st.labelValue[i][label] }
+func (st *Store) LabelValue(i, label int) float64 { return st.truths[i].LabelValue[label] }
 
 // ModelValue returns the static true output value of model m on scene i:
 // the sum of confidences of its valuable output labels, ignoring overlap
@@ -116,13 +163,14 @@ func (st *Store) OptimalTimeMS(i int) float64 {
 	return t
 }
 
-// Tracker tracks the labeling state of one scene while models execute:
+// Tracker tracks the labeling state of one item while models execute:
 // which labels have been emitted (at any confidence — this binary vector
-// is the DRL observation), which models ran, and how much valuable value
-// has been recalled.
+// is the DRL observation), which models ran, and — when the item's ground
+// truth is known — how much valuable value has been recalled.
 type Tracker struct {
-	st    *Store
-	scene int
+	ex    Executor
+	item  int
+	truth *Truth // nil when the item's ground truth is unknown
 
 	emitted  map[int]bool // label emitted at any confidence
 	recalled map[int]bool // valuable label emitted at >= threshold
@@ -133,22 +181,27 @@ type Tracker struct {
 	executedCount int
 }
 
-// NewTracker starts an empty labeling state for scene i.
-func NewTracker(st *Store, i int) *Tracker {
-	if i < 0 || i >= st.NumScenes() {
-		panic(fmt.Sprintf("oracle: scene index %d out of range", i))
+// NewTracker starts an empty labeling state for item i of the executor.
+func NewTracker(ex Executor, i int) *Tracker {
+	if i < 0 || i >= ex.NumItems() {
+		panic(fmt.Sprintf("oracle: item index %d out of range", i))
 	}
 	return &Tracker{
-		st:       st,
-		scene:    i,
+		ex:       ex,
+		item:     i,
+		truth:    ex.Truth(i),
 		emitted:  make(map[int]bool),
 		recalled: make(map[int]bool),
-		executed: make([]bool, st.NumModels()),
+		executed: make([]bool, ex.NumModels()),
 	}
 }
 
-// Scene returns the tracked scene index.
-func (t *Tracker) Scene() int { return t.scene }
+// Scene returns the tracked item index.
+func (t *Tracker) Scene() int { return t.item }
+
+// HasTruth reports whether the item's ground truth is known, i.e.
+// whether Recall, RecalledValue and MarginalValue are meaningful.
+func (t *Tracker) HasTruth() bool { return t.truth != nil }
 
 // Executed reports whether model m has run.
 func (t *Tracker) Executed(m int) bool { return t.executed[m] }
@@ -156,17 +209,18 @@ func (t *Tracker) Executed(m int) bool { return t.executed[m] }
 // ExecutedCount returns how many models have run.
 func (t *Tracker) ExecutedCount() int { return t.executedCount }
 
-// Execute replays model m's stored output into the state and returns the
-// newly emitted labels — O'(m,d) in the paper: labels not previously
-// output by any executed model, at any confidence. Executing a model twice
-// panics; the scheduler must never do that.
+// Execute runs (or replays) model m on the item, folds its output into
+// the state, and returns the newly emitted labels — O'(m,d) in the
+// paper: labels not previously output by any executed model, at any
+// confidence. Executing a model twice panics; the scheduler must never
+// do that.
 func (t *Tracker) Execute(m int) []zoo.LabelConf {
 	if t.executed[m] {
-		panic(fmt.Sprintf("oracle: model %d executed twice on scene %d", m, t.scene))
+		panic(fmt.Sprintf("oracle: model %d executed twice on item %d", m, t.item))
 	}
 	t.executed[m] = true
 	t.executedCount++
-	out := t.st.outputs[t.scene][m]
+	out := t.ex.Output(t.item, m)
 	var fresh []zoo.LabelConf
 	for _, lc := range out.Labels {
 		if !t.emitted[lc.ID] {
@@ -174,9 +228,9 @@ func (t *Tracker) Execute(m int) []zoo.LabelConf {
 			t.insertState(lc.ID)
 			fresh = append(fresh, lc)
 		}
-		if lc.Conf >= zoo.ValuableThreshold && !t.recalled[lc.ID] {
+		if t.truth != nil && lc.Conf >= zoo.ValuableThreshold && !t.recalled[lc.ID] {
 			t.recalled[lc.ID] = true
-			t.recalledValue += t.st.labelValue[t.scene][lc.ID]
+			t.recalledValue += t.truth.LabelValue[lc.ID]
 		}
 	}
 	return fresh
@@ -196,27 +250,35 @@ func (t *Tracker) insertState(id int) {
 func (t *Tracker) State() []int { return t.state }
 
 // Recall returns the fraction of total valuable value recalled so far.
-// Scenes with no valuable labels report full recall.
+// Items with known truth and no valuable labels report full recall;
+// items without ground truth report 0 — check HasTruth to tell "nothing
+// recalled" from "nothing to measure against".
 func (t *Tracker) Recall() float64 {
-	total := t.st.totalValue[t.scene]
-	if total <= 0 {
+	if t.truth == nil {
+		return 0
+	}
+	if t.truth.TotalValue <= 0 {
 		return 1
 	}
-	return t.recalledValue / total
+	return t.recalledValue / t.truth.TotalValue
 }
 
-// RecalledValue returns the absolute recalled value.
+// RecalledValue returns the absolute recalled value (0 without truth).
 func (t *Tracker) RecalledValue() float64 { return t.recalledValue }
 
 // MarginalValue returns the valuable value model m would add to the
 // current state: the summed truth value of its valuable labels that have
 // not been recalled yet. This is f(S ∪ {m}) − f(S) with perfect knowledge
-// and backs the optimal* policy.
+// and backs the optimal* policy. It requires ground truth (and, on a
+// lazy executor, forces m's execution); without truth it returns 0.
 func (t *Tracker) MarginalValue(m int) float64 {
+	if t.truth == nil {
+		return 0
+	}
 	var v float64
-	for _, lc := range t.st.outputs[t.scene][m].Labels {
+	for _, lc := range t.ex.Output(t.item, m).Labels {
 		if lc.Conf >= zoo.ValuableThreshold && !t.recalled[lc.ID] {
-			v += t.st.labelValue[t.scene][lc.ID]
+			v += t.truth.LabelValue[lc.ID]
 		}
 	}
 	return v

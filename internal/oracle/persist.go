@@ -53,8 +53,7 @@ func Load(r io.Reader, z *zoo.Zoo) (*Store, error) {
 		Zoo:        z,
 		Scenes:     blob.Scenes,
 		outputs:    blob.Outputs,
-		labelValue: make([]map[int]float64, len(blob.Scenes)),
-		totalValue: make([]float64, len(blob.Scenes)),
+		truths:     make([]Truth, len(blob.Scenes)),
 		modelValue: make([][]float64, len(blob.Scenes)),
 	}
 	st.deriveValues()
@@ -65,33 +64,40 @@ func Load(r io.Reader, z *zoo.Zoo) (*Store, error) {
 // raw outputs.
 func (st *Store) deriveValues() {
 	for i := range st.Scenes {
-		st.modelValue[i] = make([]float64, len(st.Zoo.Models))
-		lv := make(map[int]float64)
-		for mi := range st.Zoo.Models {
-			for _, lc := range st.outputs[i][mi].Labels {
-				if lc.Conf < zoo.ValuableThreshold {
-					continue
-				}
-				v := st.Zoo.Vocab.Label(lc.ID).Profit * lc.Conf
-				st.modelValue[i][mi] += v
-				if v > lv[lc.ID] {
-					lv[lc.ID] = v
-				}
+		st.truths[i], st.modelValue[i] = deriveTruth(st.Zoo, st.outputs[i])
+	}
+}
+
+// deriveTruth reduces one item's full set of model outputs to its ground
+// truth and per-model static values. It is the single valuation rule
+// shared by the precomputed Store and DeriveTruth's on-demand path.
+func deriveTruth(z *zoo.Zoo, outputs []zoo.Output) (Truth, []float64) {
+	modelValue := make([]float64, len(z.Models))
+	lv := make(map[int]float64)
+	for mi := range z.Models {
+		for _, lc := range outputs[mi].Labels {
+			if lc.Conf < zoo.ValuableThreshold {
+				continue
+			}
+			v := z.Vocab.Label(lc.ID).Profit * lc.Conf
+			modelValue[mi] += v
+			if v > lv[lc.ID] {
+				lv[lc.ID] = v
 			}
 		}
-		st.labelValue[i] = lv
-		// Sum in sorted label order so the total is bit-identical across
-		// runs (map iteration order is randomized).
-		ids := make([]int, 0, len(lv))
-		for id := range lv {
-			ids = append(ids, id)
-		}
-		sort.Ints(ids)
-		st.totalValue[i] = 0
-		for _, id := range ids {
-			st.totalValue[i] += lv[id]
-		}
 	}
+	// Sum in sorted label order so the total is bit-identical across
+	// runs (map iteration order is randomized).
+	ids := make([]int, 0, len(lv))
+	for id := range lv {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	var total float64
+	for _, id := range ids {
+		total += lv[id]
+	}
+	return Truth{LabelValue: lv, TotalValue: total}, modelValue
 }
 
 // SaveFile writes the store to the named file.

@@ -1,0 +1,62 @@
+package sched
+
+// CachedPredictor memoizes Q predictions keyed by the emitted-label set.
+// Within one item's schedule the predictor-driven policies ask for the
+// same state's values repeatedly — every launch of one parallel
+// scheduling point, every serial re-ask after a memory stall, and every
+// completion that emitted no fresh labels re-run Next on an unchanged
+// state — and the Q network's forward pass is the dominant selection
+// cost (the paper's Table III overhead). The cache turns those repeats
+// into map hits.
+//
+// The memo is invalidated by the owning policy's Reset, so it spans
+// exactly one item's schedule: at most one entry per distinct labeling
+// state the schedule visits (≤ one per executed model plus the empty
+// state), which bounds memory without any eviction policy.
+//
+// Not safe for concurrent use — it follows the same one-per-worker
+// cloning rule as the predictor it wraps.
+type CachedPredictor struct {
+	pred Predictor
+	memo map[string][]float64
+	key  []byte // scratch buffer for key encoding
+}
+
+// NewCachedPredictor wraps pred with a per-schedule memo.
+func NewCachedPredictor(pred Predictor) *CachedPredictor {
+	return &CachedPredictor{pred: pred, memo: make(map[string][]float64)}
+}
+
+// Predict implements Predictor. The returned slice is owned by the cache
+// and must not be mutated (policies only read it).
+func (c *CachedPredictor) Predict(state []int) []float64 {
+	// Encode the sorted label IDs as a compact byte key. Label IDs fit
+	// comfortably in two bytes (the vocabulary has ~1100 labels).
+	c.key = c.key[:0]
+	for _, id := range state {
+		c.key = append(c.key, byte(id), byte(id>>8))
+	}
+	k := string(c.key)
+	if q, ok := c.memo[k]; ok {
+		return q
+	}
+	// The wrapped predictor's slice aliases network storage and is
+	// invalidated by its next forward pass; the memo keeps a copy.
+	q := append([]float64(nil), c.pred.Predict(state)...)
+	c.memo[k] = q
+	return q
+}
+
+// Invalidate drops the memo; policies call it from Reset so cached
+// values never leak across items (the network may also have been
+// retrained between items).
+func (c *CachedPredictor) Invalidate() { clear(c.memo) }
+
+// invalidatePrediction resets pred's memo when it carries one. Policies
+// call this from Reset, so wrapping a policy's predictor in a
+// CachedPredictor is all it takes to opt in to memoization.
+func invalidatePrediction(pred Predictor) {
+	if c, ok := pred.(*CachedPredictor); ok {
+		c.Invalidate()
+	}
+}

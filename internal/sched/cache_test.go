@@ -1,0 +1,82 @@
+package sched
+
+import (
+	"testing"
+)
+
+// countingPredictor counts forward passes and returns a state-dependent
+// vector, reusing one backing slice like the real agent does.
+type countingPredictor struct {
+	calls int
+	buf   []float64
+}
+
+func (p *countingPredictor) Predict(state []int) []float64 {
+	p.calls++
+	if p.buf == nil {
+		p.buf = make([]float64, 4)
+	}
+	for i := range p.buf {
+		p.buf[i] = float64(len(state)*10 + i)
+	}
+	return p.buf
+}
+
+func TestCachedPredictorMemoizesPerState(t *testing.T) {
+	raw := &countingPredictor{}
+	c := NewCachedPredictor(raw)
+
+	a := c.Predict([]int{1, 5, 9})
+	b := c.Predict([]int{1, 5, 9})
+	if raw.calls != 1 {
+		t.Fatalf("repeated ask on an unchanged state ran %d forward passes, want 1", raw.calls)
+	}
+	if &a[0] != &b[0] {
+		t.Fatalf("cache returned different slices for the same state")
+	}
+	for i := range a {
+		if a[i] != float64(3*10+i) {
+			t.Fatalf("cached value %v at %d, want %v", a[i], i, float64(3*10+i))
+		}
+	}
+
+	// A different state is a miss — and must not clobber the first
+	// entry's values (the raw predictor reuses its buffer; the cache
+	// must have copied).
+	d := c.Predict([]int{1, 5})
+	if raw.calls != 2 {
+		t.Fatalf("distinct state ran %d forward passes, want 2", raw.calls)
+	}
+	if d[0] != 20 || a[0] != 30 {
+		t.Fatalf("cache aliased the predictor's buffer: first %v, second %v", a[0], d[0])
+	}
+
+	// Invalidate drops the memo: the same state recomputes.
+	c.Invalidate()
+	c.Predict([]int{1, 5, 9})
+	if raw.calls != 3 {
+		t.Fatalf("post-invalidate ask ran %d forward passes, want 3", raw.calls)
+	}
+}
+
+// TestPoliciesInvalidateCacheOnReset: a predictor-driven policy wired
+// with a CachedPredictor must clear the memo at Reset, so per-item
+// memoization never leaks across items (the network may be retrained
+// between them).
+func TestPoliciesInvalidateCacheOnReset(t *testing.T) {
+	raw := &countingPredictor{}
+	c := NewCachedPredictor(raw)
+	p := NewCostQGreedy(c, store.Zoo)
+
+	p.Reset(0)
+	c.Predict(nil)
+	c.Predict(nil)
+	if raw.calls != 1 {
+		t.Fatalf("memo inactive: %d calls", raw.calls)
+	}
+	p.Reset(1)
+	c.Predict(nil)
+	if raw.calls != 2 {
+		t.Fatalf("Reset did not invalidate the memo: %d calls, want 2", raw.calls)
+	}
+}

@@ -31,7 +31,10 @@ func NewCostQGreedy(pred Predictor, z *zoo.Zoo) *CostQGreedy {
 func (p *CostQGreedy) Name() string { return "Cost-Q Greedy" }
 
 // Reset implements sim.Policy.
-func (p *CostQGreedy) Reset(int) { p.fly.reset() }
+func (p *CostQGreedy) Reset(int) {
+	p.fly.reset()
+	invalidatePrediction(p.pred)
+}
 
 // Next implements sim.Policy.
 func (p *CostQGreedy) Next(t *oracle.Tracker, c sim.Constraints) int {

@@ -39,6 +39,7 @@ func (p *MemoryPacker) Name() string { return "Agent" }
 func (p *MemoryPacker) Reset(int) {
 	p.fly.reset()
 	p.packing = false
+	invalidatePrediction(p.pred)
 }
 
 // Next implements sim.Policy.

@@ -138,7 +138,10 @@ func NewQGreedy(pred Predictor, z *zoo.Zoo) *QGreedy {
 func (p *QGreedy) Name() string { return "Q-Greedy" }
 
 // Reset implements sim.Policy.
-func (p *QGreedy) Reset(int) { p.fly.reset() }
+func (p *QGreedy) Reset(int) {
+	p.fly.reset()
+	invalidatePrediction(p.pred)
+}
 
 // Next implements sim.Policy.
 func (p *QGreedy) Next(t *oracle.Tracker, c sim.Constraints) int {

@@ -71,7 +71,8 @@ var (
 
 // Config parameterizes a server. The embedded service.Config supplies
 // Workers and DeadlineSec to the server itself; ArrivalRateHz, Items and
-// Seed describe the arrival trace that Replay generates.
+// Seed describe an arrival trace when the caller replays one (the ams
+// layer's Serve does, sharing the shape with the virtual-time sim).
 type Config struct {
 	service.Config
 
@@ -103,7 +104,7 @@ type Config struct {
 	// StatsWindow is how many completed-item records the server retains
 	// for Stats (default 65536), bounding memory on a long-running
 	// server: once exceeded, Stats summarizes the most recent window.
-	// Replay raises it to cover its whole trace.
+	// Trace replayers raise it to cover their whole trace.
 	StatsWindow int
 }
 
@@ -112,10 +113,12 @@ const defaultStatsWindow = 1 << 16
 
 // ItemResult is the outcome of one labeled item.
 type ItemResult struct {
-	Image      int
+	Image      int     // item index in the server's executor
+	Tag        string  // caller-supplied identifier, echoed verbatim
 	Executed   []int   // model IDs in execution order
 	ScheduleMS float64 // summed nominal model time; the makespan in ItemParallel mode
 	Recall     float64
+	HasRecall  bool    // whether the item's ground truth (and so Recall) is known
 	WaitSec    float64 // queue wait on the simulated clock
 	LatencySec float64 // submit -> completion on the simulated clock
 }
@@ -123,6 +126,7 @@ type ItemResult struct {
 // Ticket tracks one submitted item to completion.
 type Ticket struct {
 	image   int
+	tag     string
 	arrival time.Time
 	done    chan struct{}
 	res     ItemResult
@@ -140,15 +144,16 @@ func (t *Ticket) Wait() ItemResult {
 // Server is a running labeling server. Create one with New, feed it with
 // Submit/SubmitWait, and stop it with Close, which drains the queue.
 type Server struct {
-	st      *oracle.Store
-	cfg     Config
-	factory service.PolicyFactory
-	acct    *accountant // nil when no memory budget is configured
-	queue   chan *Ticket
-	stop    chan struct{} // closed by Close to wake blocked SubmitWait senders
-	start   time.Time
-	wg      sync.WaitGroup // workers
-	senders sync.WaitGroup // in-flight SubmitWait sends; drained before queue close
+	ex          oracle.Executor
+	cfg         Config
+	factory     service.PolicyFactory
+	acct        *accountant // nil when no memory budget is configured
+	queue       chan *Ticket
+	stop        chan struct{} // closed by Close to wake blocked SubmitWait senders
+	workersDone chan struct{} // closed by Close after the pool drains
+	start       time.Time
+	wg          sync.WaitGroup // workers
+	senders     sync.WaitGroup // in-flight SubmitWait sends; drained before queue close
 
 	mu        sync.Mutex // guards closed, records, counters; held across Submit's send
 	closed    bool
@@ -156,12 +161,24 @@ type Server struct {
 	recHead   int              // next overwrite position once the ring is full
 	completed int64
 	rejected  int64
+
+	// Results subscription (nil until Results is called). Workers append
+	// under mu and signal; the pump goroutine forwards to the subscriber
+	// channel, so a slow (or abandoned) consumer never blocks a worker
+	// or Close. The buffer of undelivered results is bounded at
+	// StatsWindow entries — beyond that the oldest are dropped and
+	// counted, so an abandoned subscription cannot grow memory for the
+	// server's lifetime.
+	resCh      chan ItemResult
+	resSig     chan struct{} // capacity 1: "new results buffered"
+	resBuf     []ItemResult
+	resDropped int64
 }
 
 // New validates the configuration and starts the worker pool.
-func New(st *oracle.Store, factory service.PolicyFactory, cfg Config) (*Server, error) {
-	if st == nil || factory == nil {
-		return nil, errors.New("serve: nil store or policy factory")
+func New(ex oracle.Executor, factory service.PolicyFactory, cfg Config) (*Server, error) {
+	if ex == nil || factory == nil {
+		return nil, errors.New("serve: nil executor or policy factory")
 	}
 	if cfg.Workers <= 0 {
 		return nil, fmt.Errorf("serve: need at least one worker, got %d", cfg.Workers)
@@ -195,10 +212,10 @@ func New(st *oracle.Store, factory service.PolicyFactory, cfg Config) (*Server, 
 		return nil, errors.New("serve: per-item parallel execution requires a memory budget (it bounds the parallelism)")
 	}
 	if cfg.MemoryBudgetMB > 0 {
-		smallest := st.Zoo.Models[0].MemMB
-		for _, m := range st.Zoo.Models {
-			if m.MemMB < smallest {
-				smallest = m.MemMB
+		smallest := ex.Model(0).MemMB
+		for m := 1; m < ex.NumModels(); m++ {
+			if mb := ex.Model(m).MemMB; mb < smallest {
+				smallest = mb
 			}
 		}
 		if cfg.MemoryBudgetMB < smallest {
@@ -208,13 +225,14 @@ func New(st *oracle.Store, factory service.PolicyFactory, cfg Config) (*Server, 
 		acct = newAccountant(cfg.MemoryBudgetMB)
 	}
 	s := &Server{
-		st:      st,
-		cfg:     cfg,
-		factory: factory,
-		acct:    acct,
-		queue:   make(chan *Ticket, cfg.QueueCap),
-		stop:    make(chan struct{}),
-		start:   time.Now(),
+		ex:          ex,
+		cfg:         cfg,
+		factory:     factory,
+		acct:        acct,
+		queue:       make(chan *Ticket, cfg.QueueCap),
+		stop:        make(chan struct{}),
+		workersDone: make(chan struct{}),
+		start:       time.Now(),
 	}
 	for w := 0; w < cfg.Workers; w++ {
 		s.wg.Add(1)
@@ -223,11 +241,12 @@ func New(st *oracle.Store, factory service.PolicyFactory, cfg Config) (*Server, 
 	return s, nil
 }
 
-// Submit admits one image without blocking. It returns ErrQueueFull when
-// the bounded queue is saturated (the caller's backpressure signal) and
-// ErrClosed after Close.
-func (s *Server) Submit(image int) (*Ticket, error) {
-	tk, err := s.ticket(image)
+// Submit admits one item without blocking. The tag is an opaque caller
+// identifier echoed in the item's result. Submit returns ErrQueueFull
+// when the bounded queue is saturated (the caller's backpressure signal)
+// and ErrClosed after Close.
+func (s *Server) Submit(item int, tag string) (*Ticket, error) {
+	tk, err := s.ticket(item, tag)
 	if err != nil {
 		return nil, err
 	}
@@ -245,10 +264,10 @@ func (s *Server) Submit(image int) (*Ticket, error) {
 	}
 }
 
-// SubmitWait admits one image, blocking while the queue is full until
+// SubmitWait admits one item, blocking while the queue is full until
 // space frees, the context is cancelled, or the server closes.
-func (s *Server) SubmitWait(ctx context.Context, image int) (*Ticket, error) {
-	tk, err := s.ticket(image)
+func (s *Server) SubmitWait(ctx context.Context, item int, tag string) (*Ticket, error) {
+	tk, err := s.ticket(item, tag)
 	if err != nil {
 		return nil, err
 	}
@@ -273,11 +292,11 @@ func (s *Server) SubmitWait(ctx context.Context, image int) (*Ticket, error) {
 	}
 }
 
-func (s *Server) ticket(image int) (*Ticket, error) {
-	if image < 0 || image >= s.st.NumScenes() {
-		return nil, fmt.Errorf("serve: image %d out of range [0,%d)", image, s.st.NumScenes())
+func (s *Server) ticket(item int, tag string) (*Ticket, error) {
+	if item < 0 || item >= s.ex.NumItems() {
+		return nil, fmt.Errorf("serve: item %d out of range [0,%d)", item, s.ex.NumItems())
 	}
-	return &Ticket{image: image, arrival: time.Now(), done: make(chan struct{})}, nil
+	return &Ticket{image: item, tag: tag, arrival: time.Now(), done: make(chan struct{})}, nil
 }
 
 // Close stops admission, drains the queue, and waits for in-flight items
@@ -294,7 +313,69 @@ func (s *Server) Close() error {
 	s.senders.Wait() // after which no send can touch the queue
 	close(s.queue)   // let workers drain and exit
 	s.wg.Wait()
+	close(s.workersDone) // tell the results pump to flush and finish
 	return nil
+}
+
+// Results subscribes to completed items: every item finished after the
+// call is delivered, in completion order, on the returned channel, which
+// closes once the server has closed and all buffered results are
+// consumed. Repeated calls return the same channel. Results lets a
+// caller consume a stream of completions without holding tickets —
+// submit-and-forget producers on one side, one consumer loop on the
+// other. Items completed before the first Results call are not
+// replayed; subscribe before submitting. Workers never block on the
+// subscriber: results are buffered internally (at most StatsWindow
+// undelivered entries — beyond that the oldest are dropped and counted
+// in RunStats.ResultsDropped) and forwarded by a pump goroutine, so an
+// abandoned subscription cannot stall labeling, deadlock Close, or grow
+// memory unboundedly.
+func (s *Server) Results() <-chan ItemResult {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.resCh == nil {
+		s.resCh = make(chan ItemResult)
+		s.resSig = make(chan struct{}, 1)
+		go s.pumpResults()
+	}
+	return s.resCh
+}
+
+// pumpResults forwards buffered completions one at a time — everything
+// not yet handed to the subscriber stays in resBuf, so finish's
+// shedding bound covers all undelivered results (plus at most the one
+// entry in flight) — until the workers have drained, then flushes what
+// remains and closes.
+func (s *Server) pumpResults() {
+	for {
+		if s.forwardOne() {
+			continue
+		}
+		select {
+		case <-s.resSig:
+		case <-s.workersDone:
+			// Workers are gone: drain anything racing in, then close.
+			for s.forwardOne() {
+			}
+			close(s.resCh)
+			return
+		}
+	}
+}
+
+// forwardOne pops one buffered result and delivers it (blocking on the
+// subscriber), reporting whether there was one.
+func (s *Server) forwardOne() bool {
+	s.mu.Lock()
+	if len(s.resBuf) == 0 {
+		s.mu.Unlock()
+		return false
+	}
+	r := s.resBuf[0]
+	s.resBuf = s.resBuf[1:]
+	s.mu.Unlock()
+	s.resCh <- r
+	return true
 }
 
 // worker owns one policy instance (and, through the factory, one private
@@ -332,7 +413,7 @@ func (s *Server) memStalled(tr *oracle.Tracker, remainingMS, observedAvailMB flo
 		return false
 	}
 	for _, m := range tr.Unexecuted() {
-		mod := s.st.Zoo.Models[m]
+		mod := s.ex.Model(m)
 		if mod.TimeMS <= remainingMS+1e-9 &&
 			mod.MemMB <= s.cfg.MemoryBudgetMB+1e-9 &&
 			mod.MemMB > observedAvailMB+1e-9 {
@@ -363,14 +444,14 @@ func checkSelection(policy sim.Policy, m int, mod *zoo.Model, c sim.Constraints)
 func (s *Server) process(policy sim.Policy, tk *Ticket) {
 	startWall := time.Now()
 	policy.Reset(tk.image)
-	tr := oracle.NewTracker(s.st, tk.image)
+	tr := oracle.NewTracker(s.ex, tk.image)
 	remaining := s.cfg.DeadlineSec * 1000
 	var (
 		executed  []int
 		schedMS   float64
 		selectSec float64
 	)
-	for remaining > 0 && tr.ExecutedCount() < s.st.NumModels() {
+	for remaining > 0 && tr.ExecutedCount() < s.ex.NumModels() {
 		c := s.constraints(remaining)
 		if c.AvailMemMB <= 0 {
 			// Never ask with a depleted headroom: a zero constraint
@@ -393,7 +474,7 @@ func (s *Server) process(policy sim.Policy, tk *Ticket) {
 			}
 			break
 		}
-		mod := s.st.Zoo.Models[m]
+		mod := s.ex.Model(m)
 		checkSelection(policy, m, mod, c)
 		if s.acct != nil {
 			// Another worker may have claimed the observed headroom in
@@ -406,12 +487,12 @@ func (s *Server) process(policy sim.Policy, tk *Ticket) {
 			s.acct.release(mod.MemMB)
 		}
 		tr.Execute(m)
-		policy.Observe(m, s.st.Output(tk.image, m))
+		policy.Observe(m, s.ex.Output(tk.image, m))
 		executed = append(executed, m)
 		schedMS += mod.TimeMS
 		remaining -= mod.TimeMS
 	}
-	s.finish(tk, startWall, executed, schedMS, selectSec, tr.Recall())
+	s.finish(tk, startWall, executed, schedMS, selectSec, tr.Recall(), tr.HasTruth())
 }
 
 // parallelFlight is one in-flight model execution of a parallel item.
@@ -431,7 +512,7 @@ type parallelFlight struct {
 func (s *Server) processParallel(policy sim.Policy, tk *Ticket) {
 	startWall := time.Now()
 	policy.Reset(tk.image)
-	tr := oracle.NewTracker(s.st, tk.image)
+	tr := oracle.NewTracker(s.ex, tk.image)
 	deadlineMS := s.cfg.DeadlineSec * 1000
 	var (
 		inFly     []parallelFlight
@@ -462,7 +543,7 @@ func (s *Server) processParallel(policy sim.Policy, tk *Ticket) {
 				stalledAt = c.AvailMemMB
 				break
 			}
-			mod := s.st.Zoo.Models[m]
+			mod := s.ex.Model(m)
 			checkSelection(policy, m, mod, c)
 			// This reserve can briefly block when another item claims
 			// the observed headroom first, while this coordinator holds
@@ -502,24 +583,24 @@ func (s *Server) processParallel(policy sim.Policy, tk *Ticket) {
 		f := inFly[ei]
 		inFly = append(inFly[:ei], inFly[ei+1:]...)
 		<-f.done
-		mod := s.st.Zoo.Models[f.model]
+		mod := s.ex.Model(f.model)
 		s.acct.release(mod.MemMB)
 		nowMS = f.finishMS
 		tr.Execute(f.model)
-		policy.Observe(f.model, s.st.Output(tk.image, f.model))
+		policy.Observe(f.model, s.ex.Output(tk.image, f.model))
 		executed = append(executed, f.model)
 	}
 	// The coordinating worker is occupied for the whole makespan, so
 	// that — not the summed model time, which can exceed it — is the
 	// busy time charged to utilization.
-	s.finish(tk, startWall, executed, nowMS, selectSec, tr.Recall())
+	s.finish(tk, startWall, executed, nowMS, selectSec, tr.Recall(), tr.HasTruth())
 }
 
 // finish records one completed item and resolves its ticket. schedMS is
 // the item's schedule length — the worker time the item occupied, which
 // is also what utilization charges: summed model time serially, the
 // makespan in parallel mode.
-func (s *Server) finish(tk *Ticket, startWall time.Time, executed []int, schedMS, selectSec float64, recall float64) {
+func (s *Server) finish(tk *Ticket, startWall time.Time, executed []int, schedMS, selectSec float64, recall float64, hasRecall bool) {
 	finishWall := time.Now()
 
 	// Record on the simulated clock so Stats is comparable to the sim.
@@ -530,13 +611,16 @@ func (s *Server) finish(tk *Ticket, startWall time.Time, executed []int, schedMS
 		FinishSec:  finishWall.Sub(s.start).Seconds() / scale,
 		BusySec:    schedMS / 1000,
 		Recall:     recall,
+		HasRecall:  hasRecall,
 		SelectSec:  selectSec, // real seconds, deliberately unscaled
 	}
 	tk.res = ItemResult{
 		Image:      tk.image,
+		Tag:        tk.tag,
 		Executed:   executed,
 		ScheduleMS: schedMS,
 		Recall:     recall,
+		HasRecall:  hasRecall,
 		WaitSec:    rec.StartSec - rec.ArrivalSec,
 		LatencySec: rec.FinishSec - rec.ArrivalSec,
 	}
@@ -550,7 +634,25 @@ func (s *Server) finish(tk *Ticket, startWall time.Time, executed []int, schedMS
 		s.records[s.recHead] = rec
 		s.recHead = (s.recHead + 1) % s.cfg.StatsWindow
 	}
+	notify := s.resSig != nil
+	if notify {
+		if len(s.resBuf) >= s.cfg.StatsWindow {
+			// The consumer is at least a full stats window behind: treat
+			// the subscription as abandoned and shed the oldest results
+			// rather than retaining every completion forever.
+			drop := len(s.resBuf) - s.cfg.StatsWindow + 1
+			s.resBuf = append(s.resBuf[:0], s.resBuf[drop:]...)
+			s.resDropped += int64(drop)
+		}
+		s.resBuf = append(s.resBuf, tk.res)
+	}
 	s.mu.Unlock()
+	if notify {
+		select {
+		case s.resSig <- struct{}{}:
+		default: // a wake-up is already pending
+		}
+	}
 	close(tk.done)
 }
 
@@ -566,10 +668,11 @@ func sleepFor(ms float64) {
 // counters.
 type RunStats struct {
 	service.Stats
-	Completed int64   // total completions (Stats.Items caps at StatsWindow)
-	PeakMemMB float64 // maximum simultaneous reservation observed
-	MemWaits  int64   // reservations that blocked on the budget
-	Rejected  int64   // submits rejected with ErrQueueFull
+	Completed      int64   // total completions (Stats.Items caps at StatsWindow)
+	PeakMemMB      float64 // maximum simultaneous reservation observed
+	MemWaits       int64   // reservations that blocked on the budget
+	Rejected       int64   // submits rejected with ErrQueueFull
+	ResultsDropped int64   // Results-stream entries shed behind a lagging consumer
 }
 
 // Stats summarizes the most recent StatsWindow completed items through
@@ -579,11 +682,13 @@ func (s *Server) Stats() RunStats {
 	records := append([]service.Record(nil), s.records...)
 	completed := s.completed
 	rejected := s.rejected
+	resDropped := s.resDropped
 	s.mu.Unlock()
 	rs := RunStats{
-		Stats:     service.Summarize(records, s.cfg.Workers),
-		Completed: completed,
-		Rejected:  rejected,
+		Stats:          service.Summarize(records, s.cfg.Workers),
+		Completed:      completed,
+		Rejected:       rejected,
+		ResultsDropped: resDropped,
 	}
 	if completed > int64(rs.Items) && rs.Items > 0 {
 		// The ring has wrapped: Summarize's throughput/utilization
@@ -619,39 +724,4 @@ func (s *Server) PeakMemMB() float64 {
 		return 0
 	}
 	return s.acct.peak()
-}
-
-// Replay drives a fresh server with the same Poisson arrival trace the
-// virtual-time sim generates for cfg (arrival pacing scaled by
-// TimeScale), blocking on the queue when the server falls behind, then
-// closes the server and returns its statistics.
-func Replay(st *oracle.Store, factory service.PolicyFactory, cfg Config) (RunStats, error) {
-	if cfg.ArrivalRateHz <= 0 || cfg.Items <= 0 {
-		return RunStats{}, fmt.Errorf("serve: replay needs a positive arrival rate and item count, got %v Hz / %d items",
-			cfg.ArrivalRateHz, cfg.Items)
-	}
-	if cfg.TimeScale == 0 {
-		cfg.TimeScale = 1.0 // keep arrival pacing on the same scale New defaults to
-	}
-	if cfg.StatsWindow == 0 && cfg.Items > defaultStatsWindow {
-		cfg.StatsWindow = cfg.Items // summarize the whole trace
-	}
-	s, err := New(st, factory, cfg)
-	if err != nil {
-		return RunStats{}, err
-	}
-	arrivals := service.Arrivals(cfg.Items, cfg.ArrivalRateHz, cfg.Seed)
-	for i, at := range arrivals {
-		if d := time.Duration(at*cfg.TimeScale*float64(time.Second)) - time.Since(s.start); d > 0 {
-			time.Sleep(d)
-		}
-		if _, err := s.SubmitWait(context.Background(), i%st.NumScenes()); err != nil {
-			s.Close()
-			return RunStats{}, err
-		}
-	}
-	if err := s.Close(); err != nil {
-		return RunStats{}, err
-	}
-	return s.Stats(), nil
 }

@@ -100,13 +100,13 @@ func TestSubmitValidationAndClose(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.Submit(-1); err == nil {
+	if _, err := s.Submit(-1, ""); err == nil {
 		t.Fatal("negative image accepted")
 	}
-	if _, err := s.Submit(store.NumScenes()); err == nil {
+	if _, err := s.Submit(store.NumScenes(), ""); err == nil {
 		t.Fatal("out-of-range image accepted")
 	}
-	tk, err := s.Submit(0)
+	tk, err := s.Submit(0, "")
 	if err != nil {
 		t.Fatalf("Submit: %v", err)
 	}
@@ -120,10 +120,10 @@ func TestSubmitValidationAndClose(t *testing.T) {
 	if err := s.Close(); err != nil {
 		t.Fatalf("Close: %v", err)
 	}
-	if _, err := s.Submit(0); !errors.Is(err, ErrClosed) {
+	if _, err := s.Submit(0, ""); !errors.Is(err, ErrClosed) {
 		t.Fatalf("Submit after Close = %v, want ErrClosed", err)
 	}
-	if _, err := s.SubmitWait(context.Background(), 0); !errors.Is(err, ErrClosed) {
+	if _, err := s.SubmitWait(context.Background(), 0, ""); !errors.Is(err, ErrClosed) {
 		t.Fatalf("SubmitWait after Close = %v, want ErrClosed", err)
 	}
 	if err := s.Close(); !errors.Is(err, ErrClosed) {
@@ -146,23 +146,23 @@ func TestQueueFullBackpressure(t *testing.T) {
 	}
 	defer s.Close()
 
-	first, err := s.Submit(0)
+	first, err := s.Submit(0, "")
 	if err != nil {
 		t.Fatalf("first submit: %v", err)
 	}
 	// Give the worker time to dequeue the first item and start sleeping.
 	time.Sleep(10 * time.Millisecond)
-	if _, err := s.Submit(1); err != nil {
+	if _, err := s.Submit(1, ""); err != nil {
 		t.Fatalf("second submit should occupy the queue: %v", err)
 	}
-	if _, err := s.Submit(2); !errors.Is(err, ErrQueueFull) {
+	if _, err := s.Submit(2, ""); !errors.Is(err, ErrQueueFull) {
 		t.Fatalf("third submit = %v, want ErrQueueFull", err)
 	}
 	if got := s.Stats().Rejected; got != 1 {
 		t.Fatalf("rejected count %d, want 1", got)
 	}
 	// Backpressure is transient: a blocking submit gets through.
-	if _, err := s.SubmitWait(context.Background(), 2); err != nil {
+	if _, err := s.SubmitWait(context.Background(), 2, ""); err != nil {
 		t.Fatalf("SubmitWait during backpressure: %v", err)
 	}
 	first.Wait()
@@ -179,16 +179,16 @@ func TestSubmitWaitHonorsContext(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer s.Close()
-	if _, err := s.Submit(0); err != nil {
+	if _, err := s.Submit(0, ""); err != nil {
 		t.Fatal(err)
 	}
 	time.Sleep(10 * time.Millisecond)
-	if _, err := s.Submit(1); err != nil {
+	if _, err := s.Submit(1, ""); err != nil {
 		t.Fatal(err)
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
 	defer cancel()
-	if _, err := s.SubmitWait(ctx, 2); !errors.Is(err, context.DeadlineExceeded) {
+	if _, err := s.SubmitWait(ctx, 2, ""); !errors.Is(err, context.DeadlineExceeded) {
 		t.Fatalf("SubmitWait = %v, want deadline exceeded", err)
 	}
 }
@@ -214,7 +214,7 @@ func TestMemoryBudgetNeverOvercommits(t *testing.T) {
 		go func(g int) {
 			defer wg.Done()
 			for i := g; i < items; i += 8 {
-				tk, err := s.SubmitWait(context.Background(), i%store.NumScenes())
+				tk, err := s.SubmitWait(context.Background(), i%store.NumScenes(), "")
 				if err != nil {
 					t.Errorf("submit %d: %v", i, err)
 					return
@@ -276,7 +276,7 @@ func TestTightBudgetSerializesExecution(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 0; i < 40; i++ {
-		if _, err := s.SubmitWait(context.Background(), i%store.NumScenes()); err != nil {
+		if _, err := s.SubmitWait(context.Background(), i%store.NumScenes(), ""); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -305,7 +305,7 @@ func TestOversizedModelSkippedScheduleContinues(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	tk, err := s.Submit(0)
+	tk, err := s.Submit(0, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -358,7 +358,7 @@ func TestItemParallelMatchesRunParallel(t *testing.T) {
 	}
 	ref := sched.NewRandomPacker(z, tensor.NewRNG(23)) // worker 0's seed
 	for img := 0; img < 12; img++ {
-		tk, err := s.Submit(img)
+		tk, err := s.Submit(img, "")
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -403,7 +403,7 @@ func TestItemParallelConcurrentItemsStayInBudget(t *testing.T) {
 	}
 	var tickets []*Ticket
 	for i := 0; i < 60; i++ {
-		tk, err := s.SubmitWait(context.Background(), i%store.NumScenes())
+		tk, err := s.SubmitWait(context.Background(), i%store.NumScenes(), "")
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -446,7 +446,7 @@ func TestSelectOverheadMeasured(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 0; i < 10; i++ {
-		if _, err := s.SubmitWait(context.Background(), i%store.NumScenes()); err != nil {
+		if _, err := s.SubmitWait(context.Background(), i%store.NumScenes(), ""); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -469,10 +469,22 @@ func TestStatsMatchSimShape(t *testing.T) {
 		},
 		TimeScale: 0.001,
 	}
-	got, err := Replay(store, randomFactory(9), cfg)
+	// Replay the trace the virtual-time sim would generate for cfg: the
+	// arrival pacing collapses (2000 Hz at TimeScale 0.001), so the
+	// server just absorbs the whole burst through SubmitWait.
+	s, err := New(store, randomFactory(9), cfg)
 	if err != nil {
-		t.Fatalf("Replay: %v", err)
+		t.Fatal(err)
 	}
+	for i := range service.Arrivals(cfg.Items, cfg.ArrivalRateHz, cfg.Seed) {
+		if _, err := s.SubmitWait(context.Background(), i%store.NumScenes(), ""); err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got := s.Stats()
 	if got.Items != 60 {
 		t.Fatalf("items %d", got.Items)
 	}
@@ -506,7 +518,7 @@ func TestStatsWindowBoundsRetention(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 0; i < 25; i++ {
-		if _, err := s.SubmitWait(context.Background(), i%store.NumScenes()); err != nil {
+		if _, err := s.SubmitWait(context.Background(), i%store.NumScenes(), ""); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -530,19 +542,6 @@ func TestStatsWindowBoundsRetention(t *testing.T) {
 	}
 }
 
-func TestReplayValidation(t *testing.T) {
-	cfg := fast(1)
-	if _, err := Replay(store, randomFactory(1), cfg); err == nil {
-		t.Fatal("replay without an arrival trace accepted")
-	}
-	cfg.ArrivalRateHz = 100
-	cfg.Items = 5
-	cfg.Workers = 0
-	if _, err := Replay(store, randomFactory(1), cfg); err == nil {
-		t.Fatal("replay with zero workers accepted")
-	}
-}
-
 // TestExactlyExhaustedBudgetDoesNotPanic: when one worker's reservation
 // consumes the whole budget, availability is exactly zero — which must
 // never be handed to a policy (a zero constraint field means
@@ -559,7 +558,7 @@ func TestExactlyExhaustedBudgetDoesNotPanic(t *testing.T) {
 	}
 	var tickets []*Ticket
 	for i := 0; i < 40; i++ {
-		tk, err := s.SubmitWait(context.Background(), i%store.NumScenes())
+		tk, err := s.SubmitWait(context.Background(), i%store.NumScenes(), "")
 		if err != nil {
 			t.Fatal(err)
 		}

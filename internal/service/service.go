@@ -26,8 +26,8 @@ import (
 	"ams/internal/tensor"
 )
 
-// Run simulates the service over the store's images.
-func Run(st *oracle.Store, factory PolicyFactory, cfg Config) Stats {
+// Run simulates the service over the executor's items.
+func Run(ex oracle.Executor, factory PolicyFactory, cfg Config) Stats {
 	if cfg.Workers <= 0 {
 		panic("service: need at least one worker")
 	}
@@ -52,8 +52,8 @@ func Run(st *oracle.Store, factory PolicyFactory, cfg Config) Stats {
 			}
 		}
 		start := math.Max(arrivals[i], workerFree[w])
-		img := i % st.NumScenes()
-		res := sim.RunDeadline(st, img, policies[w], cfg.DeadlineSec*1000)
+		img := i % ex.NumItems()
+		res := sim.RunDeadline(ex, img, policies[w], cfg.DeadlineSec*1000)
 		dur := res.TimeMS / 1000
 		workerFree[w] = start + dur
 		records = append(records, Record{
@@ -62,6 +62,7 @@ func Run(st *oracle.Store, factory PolicyFactory, cfg Config) Stats {
 			FinishSec:  start + dur,
 			BusySec:    dur,
 			Recall:     res.Recall,
+			HasRecall:  res.HasRecall,
 		})
 	}
 	return Summarize(records, cfg.Workers)

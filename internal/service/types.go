@@ -28,7 +28,8 @@ type Stats struct {
 	AvgQueueWaitSec float64 // arrival -> execution start
 	AvgLatencySec   float64 // arrival -> completion
 	P95LatencySec   float64
-	AvgRecall       float64
+	AvgRecall       float64 // over items with known ground truth only
+	RecallItems     int     // items AvgRecall averaged over
 	ThroughputHz    float64 // completions per simulated second
 	Utilization     float64 // busy worker-time / (workers * horizon)
 	HorizonSec      float64 // completion time of the last item
@@ -47,6 +48,7 @@ type Record struct {
 	FinishSec  float64 // when its schedule completed
 	BusySec    float64 // model execution time charged to the worker
 	Recall     float64 // fraction of the item's valuable value recalled
+	HasRecall  bool    // whether the item's ground truth (and so Recall) is known
 
 	// SelectSec is the real (unscaled) wall-clock time the worker spent
 	// inside policy.Next for this item — the paper's Table III selection
@@ -70,7 +72,10 @@ func Summarize(records []Record, workers int) Stats {
 		lat := r.FinishSec - r.ArrivalSec
 		stats.AvgLatencySec += lat
 		latencies = append(latencies, lat)
-		stats.AvgRecall += r.Recall
+		if r.HasRecall {
+			stats.AvgRecall += r.Recall
+			stats.RecallItems++
+		}
 		stats.AvgSelectSec += r.SelectSec
 		busy += r.BusySec
 		if r.FinishSec > stats.HorizonSec {
@@ -80,7 +85,12 @@ func Summarize(records []Record, workers int) Stats {
 	n := float64(stats.Items)
 	stats.AvgQueueWaitSec /= n
 	stats.AvgLatencySec /= n
-	stats.AvgRecall /= n
+	// Recall averages only over items whose ground truth is known:
+	// externally ingested items have none, and folding zeros in would
+	// poison the metric.
+	if stats.RecallItems > 0 {
+		stats.AvgRecall /= float64(stats.RecallItems)
+	}
 	stats.AvgSelectSec /= n
 	sort.Float64s(latencies)
 	stats.P95LatencySec = latencies[int(0.95*float64(len(latencies)-1))]

@@ -88,57 +88,65 @@ type Policy interface {
 type SerialResult struct {
 	Executed []int   // models in execution order
 	TimeMS   float64 // summed model time
-	Recall   float64 // final recall of valuable value
+	Recall   float64 // final recall of valuable value; 0 when !HasRecall
+	// HasRecall reports whether the item's ground truth was known, i.e.
+	// whether Recall measures anything. Precomputed-store items always
+	// have it; externally ingested items usually do not.
+	HasRecall bool
 }
 
 // RunToRecall executes models per the policy until the recall of valuable
 // value reaches threshold (ground-truth stop condition, as in the paper's
-// §VI-B), the policy stops, or every model has run.
-func RunToRecall(st *oracle.Store, scene int, p Policy, threshold float64) SerialResult {
+// §VI-B), the policy stops, or every model has run. For items without
+// ground truth the recall never reaches a positive threshold, so the
+// schedule runs until the policy declines or the models are exhausted.
+func RunToRecall(ex oracle.Executor, item int, p Policy, threshold float64) SerialResult {
 	if threshold < 0 || threshold > 1 {
 		panic(fmt.Sprintf("sim: recall threshold %v out of [0,1]", threshold))
 	}
-	p.Reset(scene)
-	t := oracle.NewTracker(st, scene)
+	p.Reset(item)
+	t := oracle.NewTracker(ex, item)
 	var res SerialResult
-	for t.Recall() < threshold-1e-12 && t.ExecutedCount() < st.NumModels() {
+	for t.Recall() < threshold-1e-12 && t.ExecutedCount() < ex.NumModels() {
 		m := p.Next(t, Unconstrained())
 		if m < 0 {
 			break
 		}
 		t.Execute(m)
-		p.Observe(m, st.Output(scene, m))
+		p.Observe(m, ex.Output(item, m))
 		res.Executed = append(res.Executed, m)
-		res.TimeMS += st.Zoo.Models[m].TimeMS
+		res.TimeMS += ex.Model(m).TimeMS
 	}
 	res.Recall = t.Recall()
+	res.HasRecall = t.HasTruth()
 	return res
 }
 
 // RunDeadline executes models serially under a per-image deadline: a model
 // may start only if it finishes within the budget (Algorithm 1 line 3).
-func RunDeadline(st *oracle.Store, scene int, p Policy, deadlineMS float64) SerialResult {
-	p.Reset(scene)
-	t := oracle.NewTracker(st, scene)
+func RunDeadline(ex oracle.Executor, item int, p Policy, deadlineMS float64) SerialResult {
+	p.Reset(item)
+	t := oracle.NewTracker(ex, item)
 	var res SerialResult
 	remaining := deadlineMS
-	for remaining > 0 && t.ExecutedCount() < st.NumModels() {
+	for remaining > 0 && t.ExecutedCount() < ex.NumModels() {
 		m := p.Next(t, Constraints{RemainingMS: remaining, AvailMemMB: math.Inf(1)})
 		if m < 0 {
 			break
 		}
-		mt := st.Zoo.Models[m].TimeMS
+		mt := ex.Model(m).TimeMS
 		if mt > remaining+budgetEps {
 			panic(fmt.Sprintf("sim: policy %s exceeded the deadline (model %d needs %v, %v left)",
 				p.Name(), m, mt, remaining))
 		}
 		t.Execute(m)
-		p.Observe(m, st.Output(scene, m))
+		p.Observe(m, ex.Output(item, m))
 		res.Executed = append(res.Executed, m)
 		res.TimeMS += mt
 		remaining -= mt
 	}
 	res.Recall = t.Recall()
+	res.HasRecall = t.HasTruth()
 	return res
 }
 
@@ -148,6 +156,7 @@ type ParallelResult struct {
 	MakespanMS float64 // wall-clock time of the schedule
 	PeakMemMB  float64 // maximum simultaneous memory use observed
 	Recall     float64
+	HasRecall  bool // as in SerialResult
 }
 
 // running is one in-flight model execution.
@@ -164,12 +173,12 @@ type running struct {
 // while running and release it on completion. Outputs become visible
 // (updating the labeling state, via Observe) when a model finishes,
 // which is when new Q-value predictions may change.
-func RunParallel(st *oracle.Store, scene int, p Policy, deadlineMS, memMB float64) ParallelResult {
+func RunParallel(ex oracle.Executor, item int, p Policy, deadlineMS, memMB float64) ParallelResult {
 	if deadlineMS <= 0 || memMB <= 0 {
 		panic("sim: non-positive parallel budgets")
 	}
-	p.Reset(scene)
-	t := oracle.NewTracker(st, scene)
+	p.Reset(item)
+	t := oracle.NewTracker(ex, item)
 	var (
 		res     ParallelResult
 		inFly   []running
@@ -196,7 +205,7 @@ func RunParallel(st *oracle.Store, scene int, p Policy, deadlineMS, memMB float6
 			if m < 0 {
 				break
 			}
-			mod := st.Zoo.Models[m]
+			mod := ex.Model(m)
 			if t.Executed(m) || isRunning(m) {
 				panic(fmt.Sprintf("sim: policy %s launched model %d twice", p.Name(), m))
 			}
@@ -225,12 +234,13 @@ func RunParallel(st *oracle.Store, scene int, p Policy, deadlineMS, memMB float6
 		done := inFly[ei]
 		inFly = append(inFly[:ei], inFly[ei+1:]...)
 		now = done.finishMS
-		usedMem -= st.Zoo.Models[done.model].MemMB
+		usedMem -= ex.Model(done.model).MemMB
 		t.Execute(done.model) // output revealed at completion
-		p.Observe(done.model, st.Output(scene, done.model))
+		p.Observe(done.model, ex.Output(item, done.model))
 		res.Executed = append(res.Executed, done.model)
 	}
 	res.MakespanMS = now
 	res.Recall = t.Recall()
+	res.HasRecall = t.HasTruth()
 	return res
 }

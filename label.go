@@ -1,9 +1,11 @@
 package ams
 
 import (
+	"context"
 	"fmt"
 
 	"ams/internal/core"
+	"ams/internal/oracle"
 	"ams/internal/sched"
 	"ams/internal/sim"
 )
@@ -42,6 +44,13 @@ func (a *Agent) cloneInner() *core.Agent {
 		Algo:      a.inner.Algo,
 		Dataset:   a.inner.Dataset,
 	}
+}
+
+// clonePredictor wraps a private network clone in the per-schedule
+// Q-prediction memo: repeated policy asks on an unchanged labeling state
+// replay the cached forward pass instead of re-running it.
+func (a *Agent) clonePredictor() sched.Predictor {
+	return sched.NewCachedPredictor(a.cloneInner())
 }
 
 // PredictValues returns the agent's current value estimate for every
@@ -88,36 +97,82 @@ type OutputLabel struct {
 	Valuable   bool // confidence at or above the valuable threshold
 }
 
-// Result reports one labeled image.
+// Result reports one labeled item.
 type Result struct {
-	Image     int
+	Image     int           // held-out image index; -1 for external items
+	ItemID    string        // the item's ID, echoed verbatim
 	Labels    []OutputLabel // all emitted labels, deduplicated
 	ModelsRun []string      // executed models in order
 	TimeSec   float64       // serial: summed model time; parallel: makespan
-	Recall    float64       // fraction of the image's valuable value recalled
+
+	// Recall is the fraction of the item's valuable value recalled —
+	// meaningful only when HasRecall is true. Ground truth exists for
+	// oracle-backed (test-split) items; externally ingested items report
+	// labels, models run, and time, which is what production gives you.
+	Recall    float64
+	HasRecall bool
 }
 
-// Label schedules model executions for one held-out image under the
-// budget, driven by the agent and DefaultPolicy(b): Algorithm 1 for a
-// pure deadline, Algorithm 2 when a memory budget is present, and plain
-// value-greedy scheduling when unconstrained. Use LabelWith to pick the
-// policy explicitly.
-func (s *System) Label(agent *Agent, image int, b Budget) (*Result, error) {
+// cancelPolicy makes a context cancel a running schedule: once ctx is
+// done it declines every selection, which every executor treats as the
+// policy stopping — the remaining schedule is aborted and the labels
+// emitted so far stand as the partial result.
+type cancelPolicy struct {
+	sim.Policy
+	ctx context.Context
+}
+
+func (p cancelPolicy) Next(t *oracle.Tracker, c sim.Constraints) int {
+	if p.ctx.Err() != nil {
+		return -1
+	}
+	return p.Policy.Next(t, c)
+}
+
+// withCancel wraps a policy so ctx cancellation aborts its schedule.
+func withCancel(ctx context.Context, p sim.Policy) sim.Policy {
+	if ctx.Done() == nil {
+		return p // not cancellable; skip the per-ask check
+	}
+	return cancelPolicy{Policy: p, ctx: ctx}
+}
+
+// Label schedules model executions for one item under the budget, driven
+// by the agent and DefaultPolicy(b): Algorithm 1 for a pure deadline,
+// Algorithm 2 when a memory budget is present, and plain value-greedy
+// scheduling when unconstrained. Items come from TestItem (the built-in
+// held-out split, with recall), ComposeItem or GenerateItems (external
+// content, executed on demand). Use LabelWith to pick the policy
+// explicitly.
+//
+// Cancelling ctx aborts the remaining schedule: Label returns the
+// partial result of the models that already ran, alongside ctx.Err().
+func (s *System) Label(ctx context.Context, agent *Agent, item Item, b Budget) (*Result, error) {
 	if agent == nil {
 		return nil, fmt.Errorf("ams: nil agent")
 	}
-	return s.LabelWith(DefaultPolicy(b), agent, image, b)
+	return s.LabelWith(ctx, DefaultPolicy(b), agent, item, b)
 }
 
-// LabelRandom labels an image with the random baseline under the same
+// LabelRandom labels an item with the random baseline under the same
 // budget semantics as Label — useful for the comparisons the paper plots.
-func (s *System) LabelRandom(image int, b Budget, seed uint64) (*Result, error) {
-	return s.LabelWith(PolicyRandom.WithSeed(seed), nil, image, b)
+func (s *System) LabelRandom(ctx context.Context, item Item, b Budget, seed uint64) (*Result, error) {
+	return s.LabelWith(ctx, PolicyRandom.WithSeed(seed), nil, item, b)
 }
 
-// OptimalStarRecall returns the relaxed optimal* reference recall for an
-// image under the budget (§V-C) — the yardstick the paper compares its
-// heuristics against.
+// LabelImage is the deprecated index-based surface: it labels held-out
+// image i exactly as Label(context.Background(), agent, s.TestItem(i), b)
+// does.
+//
+// Deprecated: use Label with TestItem.
+func (s *System) LabelImage(agent *Agent, image int, b Budget) (*Result, error) {
+	return s.Label(context.Background(), agent, s.TestItem(image), b)
+}
+
+// OptimalStarRecall returns the relaxed optimal* reference recall for a
+// held-out image under the budget (§V-C) — the yardstick the paper
+// compares its heuristics against. It is inherently oracle-backed: the
+// bound needs ground truth, so it takes a test-split index, not an Item.
 func (s *System) OptimalStarRecall(image int, b Budget) (float64, error) {
 	if err := b.Validate(); err != nil {
 		return 0, err
@@ -134,18 +189,25 @@ func (s *System) OptimalStarRecall(image int, b Budget) (float64, error) {
 	return sched.OptimalStarDeadline(s.testStore, image, b.DeadlineSec*1000), nil
 }
 
-// buildResult converts an execution trace into the public Result.
-func (s *System) buildResult(image int, res sim.SerialResult) *Result {
+// buildResult converts an execution trace into the public Result,
+// reading the executed models' (memoized) outputs back from the
+// executor.
+func (s *System) buildResult(ex oracle.Executor, idx int, item Item, res sim.SerialResult) *Result {
 	out := &Result{
-		Image:   image,
-		TimeSec: res.TimeMS / 1000,
-		Recall:  res.Recall,
+		Image:     item.image,
+		ItemID:    item.id,
+		TimeSec:   res.TimeMS / 1000,
+		Recall:    res.Recall,
+		HasRecall: res.HasRecall,
+	}
+	if item.ext != nil {
+		out.Image = -1
 	}
 	seen := map[int]float64{}
 	var order []int
 	for _, m := range res.Executed {
-		out.ModelsRun = append(out.ModelsRun, s.Zoo.Models[m].Name)
-		for _, lc := range s.testStore.Output(image, m).Labels {
+		out.ModelsRun = append(out.ModelsRun, ex.Model(m).Name)
+		for _, lc := range ex.Output(idx, m).Labels {
 			if prev, ok := seen[lc.ID]; !ok {
 				seen[lc.ID] = lc.Conf
 				order = append(order, lc.ID)

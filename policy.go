@@ -1,9 +1,11 @@
 package ams
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
+	"ams/internal/oracle"
 	"ams/internal/sched"
 	"ams/internal/sim"
 	"ams/internal/tensor"
@@ -39,7 +41,7 @@ var (
 		name:       "algorithm1",
 		needsAgent: true,
 		build: func(s *System, agent *Agent, _ uint64) sim.Policy {
-			return sched.NewCostQGreedy(agent.cloneInner(), s.Zoo)
+			return sched.NewCostQGreedy(agent.clonePredictor(), s.Zoo)
 		},
 	}
 	// PolicyAlgorithm2 is the paper's Algorithm 2: deadline+memory batch
@@ -51,7 +53,7 @@ var (
 		parallel:   true,
 		needsAgent: true,
 		build: func(s *System, agent *Agent, _ uint64) sim.Policy {
-			return sched.NewMemoryPacker(agent.cloneInner(), s.Zoo)
+			return sched.NewMemoryPacker(agent.clonePredictor(), s.Zoo)
 		},
 	}
 	// PolicyQGreedy picks the feasible model with the highest predicted
@@ -60,7 +62,7 @@ var (
 		name:       "qgreedy",
 		needsAgent: true,
 		build: func(s *System, agent *Agent, _ uint64) sim.Policy {
-			return sched.NewQGreedy(agent.cloneInner(), s.Zoo)
+			return sched.NewQGreedy(agent.clonePredictor(), s.Zoo)
 		},
 	}
 	// PolicyRandom executes uniformly random feasible models — the
@@ -147,18 +149,20 @@ func DefaultPolicy(b Budget) Policy {
 }
 
 // runSchedule is the one budget dispatch shared by every labeling
-// surface: it picks the executor from the budget shape and runs the
-// policy under it. The budget must already be validated.
-func (s *System) runSchedule(image int, p sim.Policy, b Budget) sim.SerialResult {
+// surface: it picks the executor loop from the budget shape and runs the
+// policy under it, over any oracle.Executor (precomputed or on-demand).
+// The budget must already be validated.
+func (s *System) runSchedule(ex oracle.Executor, idx int, p sim.Policy, b Budget) sim.SerialResult {
 	switch {
 	case b.MemoryGB > 0:
-		pr := sim.RunParallel(s.testStore, image, p, b.DeadlineSec*1000, b.MemoryGB*1024)
-		return sim.SerialResult{Executed: pr.Executed, TimeMS: pr.MakespanMS, Recall: pr.Recall}
+		pr := sim.RunParallel(ex, idx, p, b.DeadlineSec*1000, b.MemoryGB*1024)
+		return sim.SerialResult{Executed: pr.Executed, TimeMS: pr.MakespanMS, Recall: pr.Recall, HasRecall: pr.HasRecall}
 	case b.DeadlineSec > 0:
-		return sim.RunDeadline(s.testStore, image, p, b.DeadlineSec*1000)
+		return sim.RunDeadline(ex, idx, p, b.DeadlineSec*1000)
 	default:
-		// Unconstrained: schedule until every valuable label is recalled.
-		return sim.RunToRecall(s.testStore, image, p, 1.0)
+		// Schedule until every valuable label is recalled — or, without
+		// ground truth, until the policy stops proposing models.
+		return sim.RunToRecall(ex, idx, p, 1.0)
 	}
 }
 
@@ -170,19 +174,26 @@ func (s *System) checkImage(image int) error {
 	return nil
 }
 
-// LabelWith labels one held-out image with an explicit policy under the
-// budget. The agent may be nil for policies that do not need one (the
-// random baseline). Label is LabelWith with DefaultPolicy(b).
-func (s *System) LabelWith(policy Policy, agent *Agent, image int, b Budget) (*Result, error) {
+// LabelWith labels one item with an explicit policy under the budget.
+// The agent may be nil for policies that do not need one (the random
+// baseline). Label is LabelWith with DefaultPolicy(b). Cancelling ctx
+// aborts the remaining schedule and returns the partial result alongside
+// ctx.Err().
+func (s *System) LabelWith(ctx context.Context, policy Policy, agent *Agent, item Item, b Budget) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if err := b.Validate(); err != nil {
 		return nil, err
 	}
-	if err := s.checkImage(image); err != nil {
+	ex, idx, err := s.resolveItem(item)
+	if err != nil {
 		return nil, err
 	}
 	sp, err := policy.instantiate(s, agent, 0)
 	if err != nil {
 		return nil, err
 	}
-	return s.buildResult(image, s.runSchedule(image, sp, b)), nil
+	res := s.runSchedule(ex, idx, withCancel(ctx, sp), b)
+	return s.buildResult(ex, idx, item, res), ctx.Err()
 }

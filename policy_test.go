@@ -39,25 +39,25 @@ func TestPolicyByNameUnknownErrors(t *testing.T) {
 
 func TestLabelWithValidation(t *testing.T) {
 	// Zero Policy value is rejected.
-	if _, err := testSys.LabelWith(Policy{}, testAgent, 0, Budget{}); err == nil {
+	if _, err := testSys.LabelWith(bg, Policy{}, testAgent, testSys.TestItem(0), Budget{}); err == nil {
 		t.Fatal("zero Policy accepted")
 	}
 	// Agent-driven policies need an agent.
-	if _, err := testSys.LabelWith(PolicyAlgorithm1, nil, 0, Budget{DeadlineSec: 0.5}); err == nil {
+	if _, err := testSys.LabelWith(bg, PolicyAlgorithm1, nil, testSys.TestItem(0), Budget{DeadlineSec: 0.5}); err == nil {
 		t.Fatal("algorithm1 without an agent accepted")
 	}
 	// The random baseline does not.
-	if _, err := testSys.LabelWith(PolicyRandom, nil, 0, Budget{DeadlineSec: 0.5}); err != nil {
+	if _, err := testSys.LabelWith(bg, PolicyRandom, nil, testSys.TestItem(0), Budget{DeadlineSec: 0.5}); err != nil {
 		t.Fatalf("random without an agent: %v", err)
 	}
 	// Budget validation is shared.
-	if _, err := testSys.LabelWith(PolicyAlgorithm2, testAgent, 0, Budget{MemoryGB: 8}); err == nil {
+	if _, err := testSys.LabelWith(bg, PolicyAlgorithm2, testAgent, testSys.TestItem(0), Budget{MemoryGB: 8}); err == nil {
 		t.Fatal("memory-without-deadline accepted")
 	}
-	if _, err := testSys.LabelWith(PolicyAlgorithm1, testAgent, 0, Budget{DeadlineSec: -1}); err == nil {
+	if _, err := testSys.LabelWith(bg, PolicyAlgorithm1, testAgent, testSys.TestItem(0), Budget{DeadlineSec: -1}); err == nil {
 		t.Fatal("negative deadline accepted")
 	}
-	if _, err := testSys.LabelWith(PolicyAlgorithm1, testAgent, -1, Budget{}); err == nil {
+	if _, err := testSys.LabelWith(bg, PolicyAlgorithm1, testAgent, testSys.TestItem(-1), Budget{}); err == nil {
 		t.Fatal("bad image accepted")
 	}
 }
@@ -70,11 +70,11 @@ func TestLabelWithMatchesLabel(t *testing.T) {
 		{DeadlineSec: 0.5},
 		{DeadlineSec: 0.8, MemoryGB: 8},
 	} {
-		got, err := testSys.LabelWith(DefaultPolicy(b), testAgent, 1, b)
+		got, err := testSys.LabelWith(bg, DefaultPolicy(b), testAgent, testSys.TestItem(1), b)
 		if err != nil {
 			t.Fatalf("LabelWith(%+v): %v", b, err)
 		}
-		want, err := testSys.Label(testAgent, 1, b)
+		want, err := testSys.Label(bg, testAgent, testSys.TestItem(1), b)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -99,7 +99,7 @@ func TestAnyPolicyUnderAnyBudget(t *testing.T) {
 			{DeadlineSec: 0.5},
 			{DeadlineSec: 0.8, MemoryGB: 8},
 		} {
-			res, err := testSys.LabelWith(p, testAgent, 2, b)
+			res, err := testSys.LabelWith(bg, p, testAgent, testSys.TestItem(2), b)
 			if err != nil {
 				t.Fatalf("policy %q budget %+v: %v", name, b, err)
 			}
@@ -130,12 +130,12 @@ func TestServePolicyAlgorithm2MatchesSim(t *testing.T) {
 		t.Fatalf("NewServer: %v", err)
 	}
 	for img := 0; img < 8; img++ {
-		tk, err := srv.Submit(img)
+		tk, err := srv.Submit(testSys.TestItem(img))
 		if err != nil {
 			t.Fatal(err)
 		}
-		got := tk.Wait() // sequential submits: the item runs uncontended
-		want, err := testSys.LabelWith(PolicyAlgorithm2, testAgent, img, b)
+		got := mustWait(t, tk) // sequential submits: the item runs uncontended
+		want, err := testSys.LabelWith(bg, PolicyAlgorithm2, testAgent, testSys.TestItem(img), b)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -183,11 +183,11 @@ func TestServePolicyValidation(t *testing.T) {
 	if err != nil {
 		t.Fatalf("random policy without agent: %v", err)
 	}
-	tk, err := srv.Submit(0)
+	tk, err := srv.Submit(testSys.TestItem(0))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res := tk.Wait(); res.Recall < 0 || res.Recall > 1+1e-9 {
+	if res := mustWait(t, tk); res.Recall < 0 || res.Recall > 1+1e-9 {
 		t.Fatalf("bad result %+v", res)
 	}
 	if err := srv.Close(); err != nil {
@@ -201,7 +201,7 @@ func TestServePolicyValidation(t *testing.T) {
 func TestServeReportsSelectOverhead(t *testing.T) {
 	cfg := serveCfg(2)
 	trace := ServeTrace{ArrivalRateHz: 1000, Items: 20, Seed: 9}
-	real, err := testSys.Serve(testAgent, cfg, trace)
+	real, err := testSys.Serve(bg, testAgent, cfg, trace, nil)
 	if err != nil {
 		t.Fatalf("Serve: %v", err)
 	}

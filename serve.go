@@ -3,7 +3,10 @@ package ams
 import (
 	"context"
 	"fmt"
+	"sync"
+	"time"
 
+	"ams/internal/oracle"
 	"ams/internal/serve"
 	"ams/internal/service"
 	"ams/internal/sim"
@@ -16,8 +19,7 @@ var (
 	ErrServerClosed = serve.ErrClosed
 )
 
-// ServeConfig parameterizes a labeling server over the system's held-out
-// images.
+// ServeConfig parameterizes a labeling server.
 type ServeConfig struct {
 	// Workers is the number of concurrent labeling workers. Each worker
 	// owns a private clone of the agent's network (LabelBatch's cloning
@@ -54,7 +56,7 @@ type ServeConfig struct {
 // SimulateServe.
 type ServeTrace struct {
 	ArrivalRateHz float64 // mean arrivals per second
-	Items         int     // stream length; images cycle through the test split
+	Items         int     // stream length
 	Seed          uint64
 }
 
@@ -68,7 +70,8 @@ type ServeStats struct {
 	AvgQueueWaitSec float64 // submit -> execution start
 	AvgLatencySec   float64 // submit -> completion
 	P95LatencySec   float64
-	AvgRecall       float64
+	AvgRecall       float64 // over ground-truth-backed items only
+	RecallItems     int     // items AvgRecall averaged over (external items have no recall)
 	ThroughputHz    float64 // completions per simulated second
 	Utilization     float64 // busy worker-time / (workers * horizon)
 	HorizonSec      float64 // completion time of the last item
@@ -76,49 +79,84 @@ type ServeStats struct {
 	PeakMemMB float64 // maximum simultaneous GPU reservation (real server)
 	MemWaits  int64   // executions that blocked on the memory budget
 	Rejected  int64   // submits rejected with ErrQueueFull
+	// ResultsDropped counts Results-stream completions shed because the
+	// subscriber fell more than a stats window behind (an abandoned
+	// consumer never blocks labeling or grows memory unboundedly).
+	ResultsDropped int64
 
 	// AvgSelectSec is the real (unscaled) seconds per item spent inside
 	// the policy's Next — the scheduling overhead of the paper's Table
-	// III, dominated by Q-network forward passes. Zero for the
-	// virtual-time sim, which models selection as free.
+	// III, dominated by Q-network forward passes (memoized per labeling
+	// state since the Q-prediction cache). Zero for the virtual-time
+	// sim, which models selection as free.
 	AvgSelectSec float64
 }
 
-// Server is a running concurrent labeling server over the system's
-// held-out images. Create one with NewServer, feed it with Submit or
-// SubmitWait, and stop it with Close (which drains queued items).
+// Server is a running concurrent labeling server. Create one with
+// NewServer, feed it with Submit or SubmitWait — held-out test images
+// and externally ingested items alike — and stop it with Close (which
+// drains queued items). Consume completions either per item through
+// tickets or as a stream through Results.
 type Server struct {
-	sys   *System
-	inner *serve.Server
+	sys    *System
+	ingest *oracle.OnDemand // test store + dynamically ingested items
+	inner  *serve.Server
+
+	// ingested memoizes each external item's executor index so repeated
+	// submissions of one item — including backoff-retries after
+	// ErrQueueFull — reuse the slot instead of growing the executor per
+	// attempt.
+	mu       sync.Mutex
+	ingested map[*oracle.ExternalItem]int
+
+	resOnce sync.Once
+	res     chan *Result
 }
 
-// ServeTicket tracks one submitted image to completion.
+// ServeTicket tracks one submitted item to completion.
 type ServeTicket struct {
-	sys   *System
-	inner *serve.Ticket
+	sys  *System
+	ex   oracle.Executor
+	item Item
+	idx  int
+	in   *serve.Ticket
 }
 
-// Done is closed when the image has been labeled.
-func (t *ServeTicket) Done() <-chan struct{} { return t.inner.Done() }
+// Done is closed when the item has been labeled.
+func (t *ServeTicket) Done() <-chan struct{} { return t.in.Done() }
 
-// Wait blocks until the image has been labeled and returns the same
-// Result shape Label produces.
-func (t *ServeTicket) Wait() *Result {
-	res := t.inner.Wait()
-	return t.sys.buildResult(res.Image, sim.SerialResult{
-		Executed: res.Executed,
-		TimeMS:   res.ScheduleMS,
-		Recall:   res.Recall,
-	})
+// Wait blocks until the item has been labeled — or ctx is cancelled,
+// which abandons the wait (not the item: the server still finishes it)
+// and returns ctx.Err().
+func (t *ServeTicket) Wait(ctx context.Context) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	select {
+	case <-t.in.Done():
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	res := t.in.Wait()
+	return t.sys.buildResult(t.ex, t.idx, t.item, sim.SerialResult{
+		Executed:  res.Executed,
+		TimeMS:    res.ScheduleMS,
+		Recall:    res.Recall,
+		HasRecall: res.HasRecall,
+	}), nil
 }
 
-// NewServer starts a concurrent labeling server driven by the agent.
+// NewServer starts a concurrent labeling server driven by the agent. The
+// server labels built-in test images from the precomputed store and
+// ingested external items by running models on demand, under the same
+// policies and budgets.
 func (s *System) NewServer(agent *Agent, cfg ServeConfig) (*Server, error) {
 	factory, policy, err := s.serveFactory(agent, cfg)
 	if err != nil {
 		return nil, err
 	}
-	inner, err := serve.New(s.testStore, factory, serve.Config{
+	ingest := oracle.NewOnDemand(s.Zoo, s.testStore)
+	inner, err := serve.New(ingest, factory, serve.Config{
 		Config: service.Config{
 			Workers:     cfg.Workers,
 			DeadlineSec: cfg.DeadlineSec,
@@ -132,27 +170,112 @@ func (s *System) NewServer(agent *Agent, cfg ServeConfig) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("ams: %w", err)
 	}
-	return &Server{sys: s, inner: inner}, nil
+	return &Server{
+		sys:      s,
+		ingest:   ingest,
+		inner:    inner,
+		ingested: make(map[*oracle.ExternalItem]int),
+	}, nil
 }
 
-// Submit admits one held-out image without blocking; ErrQueueFull means
-// the server is saturated and the caller should back off.
-func (sv *Server) Submit(image int) (*ServeTicket, error) {
-	tk, err := sv.inner.Submit(image)
+// resolve maps an item onto the server's executor index, ingesting
+// external content. One external item occupies one executor slot no
+// matter how often it is submitted or how many admissions fail.
+//
+// Ingested slots live as long as the server: results (tickets, the
+// Results stream) read an item's memoized outputs lazily, so slots are
+// not reclaimed on completion. A server that ingests an unbounded
+// external stream therefore grows with the distinct items it has
+// accepted — restart servers on corpus boundaries, or reuse Items, to
+// bound it (eviction of consumed items is a roadmap item).
+func (sv *Server) resolve(item Item) (int, error) {
+	ext, err := sv.sys.checkItem(item)
+	if err != nil {
+		return 0, err
+	}
+	if ext == nil {
+		return item.image, nil
+	}
+	sv.mu.Lock()
+	idx, ok := sv.ingested[ext]
+	if !ok {
+		idx = sv.ingest.Add(ext)
+		sv.ingested[ext] = idx
+	}
+	sv.mu.Unlock()
+	return idx, nil
+}
+
+// Submit admits one item without blocking; ErrQueueFull means the server
+// is saturated and the caller should back off.
+func (sv *Server) Submit(item Item) (*ServeTicket, error) {
+	idx, err := sv.resolve(item)
 	if err != nil {
 		return nil, err
 	}
-	return &ServeTicket{sys: sv.sys, inner: tk}, nil
-}
-
-// SubmitWait admits one image, blocking under backpressure until space
-// frees or the context is cancelled.
-func (sv *Server) SubmitWait(ctx context.Context, image int) (*ServeTicket, error) {
-	tk, err := sv.inner.SubmitWait(ctx, image)
+	tk, err := sv.inner.Submit(idx, item.id)
 	if err != nil {
 		return nil, err
 	}
-	return &ServeTicket{sys: sv.sys, inner: tk}, nil
+	return &ServeTicket{sys: sv.sys, ex: sv.ingest, item: item, idx: idx, in: tk}, nil
+}
+
+// SubmitWait admits one item, blocking under backpressure until space
+// frees or the context is cancelled (returning ctx.Err()).
+func (sv *Server) SubmitWait(ctx context.Context, item Item) (*ServeTicket, error) {
+	idx, err := sv.resolve(item)
+	if err != nil {
+		return nil, err
+	}
+	tk, err := sv.inner.SubmitWait(ctx, idx, item.id)
+	if err != nil {
+		return nil, err
+	}
+	return &ServeTicket{sys: sv.sys, ex: sv.ingest, item: item, idx: idx, in: tk}, nil
+}
+
+// SubmitImage is the deprecated index-based surface: it submits held-out
+// image i exactly as Submit(TestItem(i)) does.
+//
+// Deprecated: use Submit with TestItem.
+func (sv *Server) SubmitImage(image int) (*ServeTicket, error) {
+	return sv.Submit(sv.sys.TestItem(image))
+}
+
+// Results subscribes to the server's completion stream: every item
+// finished after the call is delivered in completion order, without the
+// caller holding tickets. The channel closes after Close once all
+// results are drained. Repeated calls share one subscription. Subscribe
+// before submitting — earlier completions are not replayed. A slow or
+// abandoned consumer never blocks labeling or Close: results buffer
+// internally up to ServeConfig.StatsWindow undelivered entries, beyond
+// which the oldest are dropped (ServeStats.ResultsDropped counts them).
+// Like time.Tick, a subscription that is never drained holds its
+// bounded buffer and two forwarding goroutines until the process exits;
+// a consumer should read until the channel closes.
+func (sv *Server) Results() <-chan *Result {
+	sv.resOnce.Do(func() {
+		inner := sv.inner.Results()
+		ch := make(chan *Result)
+		go func() {
+			defer close(ch)
+			for ir := range inner {
+				item := Item{id: ir.Tag, image: ir.Image, valid: true}
+				if ir.Image >= sv.sys.testStore.NumScenes() {
+					// Ingested item: no test-split index to report.
+					item.image = -1
+				}
+				ch <- sv.sys.buildResult(sv.ingest, ir.Image, item, sim.SerialResult{
+					Executed:  ir.Executed,
+					TimeMS:    ir.ScheduleMS,
+					Recall:    ir.Recall,
+					HasRecall: ir.HasRecall,
+				})
+			}
+		}()
+		sv.res = ch
+	})
+	return sv.res
 }
 
 // Stats summarizes the items completed so far.
@@ -161,32 +284,70 @@ func (sv *Server) Stats() ServeStats { return fromRunStats(sv.inner.Stats()) }
 // Close stops admission, drains the queue, and waits for in-flight items.
 func (sv *Server) Close() error { return sv.inner.Close() }
 
-// Serve replays a Poisson arrival trace through a fresh server and
-// returns its statistics — the real-time counterpart of SimulateServe.
-func (s *System) Serve(agent *Agent, cfg ServeConfig, trace ServeTrace) (ServeStats, error) {
-	factory, policy, err := s.serveFactory(agent, cfg)
+// Serve replays a Poisson arrival trace through a fresh server, pulling
+// items from src — any SceneSource; nil means the built-in test split,
+// cycled — and returns its statistics: the real-time counterpart of
+// SimulateServe. The replay ends after trace.Items arrivals or when the
+// source is exhausted; cancelling ctx stops admission early and returns
+// the statistics of the items completed, alongside ctx.Err().
+func (s *System) Serve(ctx context.Context, agent *Agent, cfg ServeConfig, trace ServeTrace, src SceneSource) (ServeStats, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if trace.ArrivalRateHz <= 0 || trace.Items <= 0 {
+		return ServeStats{}, fmt.Errorf("ams: serve needs a positive arrival rate and item count, got %v Hz / %d items",
+			trace.ArrivalRateHz, trace.Items)
+	}
+	if src == nil {
+		src = s.TestSplitSource()
+	}
+	if cfg.StatsWindow == 0 {
+		cfg.StatsWindow = trace.Items // summarize the whole trace
+	}
+	srv, err := s.NewServer(agent, cfg)
 	if err != nil {
 		return ServeStats{}, err
 	}
-	rs, err := serve.Replay(s.testStore, factory, serve.Config{
-		Config:         s.traceConfig(cfg, trace),
-		QueueCap:       cfg.QueueCap,
-		MemoryBudgetMB: cfg.MemoryGB * 1024,
-		TimeScale:      cfg.TimeScale,
-		StatsWindow:    cfg.StatsWindow,
-		ItemParallel:   policy.parallel,
-	})
-	if err != nil {
-		return ServeStats{}, fmt.Errorf("ams: %w", err)
+	scale := cfg.TimeScale
+	if scale == 0 {
+		scale = 1.0 // the server's own default; keep arrival pacing on it
 	}
-	return fromRunStats(rs), nil
+	start := time.Now()
+	arrivals := service.Arrivals(trace.Items, trace.ArrivalRateHz, trace.Seed)
+	var submitErr error
+	for _, at := range arrivals {
+		item, ok := src.Next()
+		if !ok {
+			break // source exhausted: serve what arrived
+		}
+		if d := time.Duration(at*scale*float64(time.Second)) - time.Since(start); d > 0 {
+			select {
+			case <-time.After(d):
+			case <-ctx.Done():
+			}
+		}
+		if ctx.Err() != nil {
+			submitErr = ctx.Err()
+			break
+		}
+		if _, err := srv.SubmitWait(ctx, item); err != nil {
+			submitErr = err
+			break
+		}
+	}
+	if err := srv.Close(); err != nil && submitErr == nil {
+		submitErr = err
+	}
+	return srv.Stats(), submitErr
 }
 
 // SimulateServe runs the virtual-time discrete-event simulation of the
 // same workload — same Config and policy wiring as Serve, no real
 // concurrency or sleeping — so the two can be compared side by side.
-// The memory budget and queue bound do not apply: the sim models an
-// unbounded FIFO queue with serial per-item execution.
+// The simulation replays the built-in test split (virtual time cannot
+// consume a live external source); the memory budget and queue bound do
+// not apply: the sim models an unbounded FIFO queue with serial per-item
+// execution.
 func (s *System) SimulateServe(agent *Agent, cfg ServeConfig, trace ServeTrace) (ServeStats, error) {
 	factory, _, err := s.serveFactory(agent, cfg)
 	if err != nil {
@@ -249,12 +410,14 @@ func fromRunStats(rs serve.RunStats) ServeStats {
 		AvgLatencySec:   rs.AvgLatencySec,
 		P95LatencySec:   rs.P95LatencySec,
 		AvgRecall:       rs.AvgRecall,
+		RecallItems:     rs.RecallItems,
 		ThroughputHz:    rs.ThroughputHz,
 		Utilization:     rs.Utilization,
 		HorizonSec:      rs.HorizonSec,
 		PeakMemMB:       rs.PeakMemMB,
 		MemWaits:        rs.MemWaits,
 		Rejected:        rs.Rejected,
+		ResultsDropped:  rs.ResultsDropped,
 		AvgSelectSec:    rs.AvgSelectSec,
 	}
 }

@@ -14,22 +14,32 @@ func serveCfg(workers int) ServeConfig {
 	return ServeConfig{Workers: workers, DeadlineSec: 0.5, TimeScale: 0.001}
 }
 
+// mustWait waits for a ticket without a cancellation deadline.
+func mustWait(t testing.TB, tk *ServeTicket) *Result {
+	t.Helper()
+	res, err := tk.Wait(context.Background())
+	if err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	return res
+}
+
 func TestServerLabelsLikeLabel(t *testing.T) {
 	srv, err := testSys.NewServer(testAgent, serveCfg(2))
 	if err != nil {
 		t.Fatalf("NewServer: %v", err)
 	}
-	tk, err := srv.Submit(3)
+	tk, err := srv.Submit(testSys.TestItem(3))
 	if err != nil {
 		t.Fatalf("Submit: %v", err)
 	}
-	got := tk.Wait()
+	got := mustWait(t, tk)
 	if err := srv.Close(); err != nil {
 		t.Fatalf("Close: %v", err)
 	}
 	// The server's per-item schedule is the same Algorithm-1 loop Label
 	// runs, so an uncontended item must reproduce Label exactly.
-	want, err := testSys.Label(testAgent, 3, Budget{DeadlineSec: 0.5})
+	want, err := testSys.Label(bg, testAgent, testSys.TestItem(3), Budget{DeadlineSec: 0.5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -66,12 +76,12 @@ func TestServerConcurrentSubmits(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < perG; i++ {
 				img := (g*perG + i) % testSys.NumTestImages()
-				tk, err := srv.SubmitWait(context.Background(), img)
+				tk, err := srv.SubmitWait(context.Background(), testSys.TestItem(img))
 				if err != nil {
 					t.Errorf("submit: %v", err)
 					return
 				}
-				results[g] = append(results[g], tk.Wait())
+				results[g] = append(results[g], mustWait(t, tk))
 			}
 		}(g)
 	}
@@ -105,7 +115,7 @@ func TestServerConcurrentSubmits(t *testing.T) {
 func TestServeMatchesSimulateServe(t *testing.T) {
 	cfg := serveCfg(2)
 	trace := ServeTrace{ArrivalRateHz: 1000, Items: 40, Seed: 5}
-	real, err := testSys.Serve(testAgent, cfg, trace)
+	real, err := testSys.Serve(bg, testAgent, cfg, trace, nil)
 	if err != nil {
 		t.Fatalf("Serve: %v", err)
 	}
@@ -139,7 +149,7 @@ func TestServeAdmissionValidation(t *testing.T) {
 			if _, err := testSys.NewServer(testAgent, tc.cfg); err == nil {
 				t.Fatalf("NewServer accepted %+v", tc.cfg)
 			}
-			if _, err := testSys.Serve(testAgent, tc.cfg, trace); err == nil {
+			if _, err := testSys.Serve(bg, testAgent, tc.cfg, trace, nil); err == nil {
 				t.Fatalf("Serve accepted %+v", tc.cfg)
 			}
 		})
@@ -147,7 +157,7 @@ func TestServeAdmissionValidation(t *testing.T) {
 	if _, err := testSys.NewServer(nil, serveCfg(1)); err == nil {
 		t.Fatal("nil agent accepted")
 	}
-	if _, err := testSys.Serve(nil, serveCfg(1), trace); err == nil {
+	if _, err := testSys.Serve(bg, nil, serveCfg(1), trace, nil); err == nil {
 		t.Fatal("nil agent accepted by Serve")
 	}
 	if _, err := testSys.SimulateServe(nil, serveCfg(1), trace); err == nil {
@@ -173,7 +183,7 @@ func TestServerQueueFullSurfacesBackpressure(t *testing.T) {
 	// bounded queue.
 	var sawFull bool
 	for i := 0; i < 10; i++ {
-		_, err := srv.Submit(3) // image 3 runs a non-empty schedule (see above)
+		_, err := srv.Submit(testSys.TestItem(3)) // image 3 runs a non-empty schedule (see above)
 		if errors.Is(err, ErrQueueFull) {
 			sawFull = true
 			break

@@ -66,15 +66,19 @@ func (s *System) LabelChunkedStream(numImages, chunkLen, exploreN int) (*StreamR
 	}, nil
 }
 
+// regenerate produces a resized dataset with the same profile. Only the
+// dataset is generated — not a whole throwaway System with its
+// vocabulary, zoo and both precomputed oracle stores, which is what this
+// used to build (and throw away) per call. The seed derivation matches
+// what New would feed NewDataset for Seed+1, so existing streams are
+// bit-identical.
 func (s *System) regenerate(numImages int) (*synth.Dataset, error) {
-	sub, err := New(Config{
-		Dataset:   s.cfg.Dataset,
-		NumImages: numImages,
-		TrainFrac: s.cfg.TrainFrac,
-		Seed:      s.cfg.Seed + 1,
-	})
-	if err != nil {
-		return nil, err
+	if numImages < 1 {
+		return nil, fmt.Errorf("ams: numImages must be positive, got %d", numImages)
 	}
-	return sub.Dataset, nil
+	profile, err := synth.ProfileByName(s.cfg.Dataset)
+	if err != nil {
+		return nil, fmt.Errorf("ams: %w", err)
+	}
+	return synth.NewDataset(s.Vocabulary, profile, numImages, (s.cfg.Seed+1)^0x5bd1e995), nil
 }

@@ -64,7 +64,7 @@ func TestTrainerAdaptOnOtherDataset(t *testing.T) {
 		t.Fatal("zero images accepted")
 	}
 	agent := tr.Snapshot()
-	if _, err := testSys.Label(agent, 0, Budget{DeadlineSec: 1}); err != nil {
+	if _, err := testSys.Label(bg, agent, testSys.TestItem(0), Budget{DeadlineSec: 1}); err != nil {
 		t.Fatalf("label with adapted agent: %v", err)
 	}
 }
