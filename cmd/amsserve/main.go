@@ -21,12 +21,23 @@
 // the pool under the shared accountant, matching sim.RunParallel
 // semantics.
 //
+// Ingestion can be made durable with -journal: every admitted external
+// item, each memoized model output, and each completed schedule is
+// appended to a write-ahead journal, committed items are evicted from
+// memory (bounded by -max-resident), and -snapshot-every compacts the
+// journal periodically. A run killed at an arbitrary point is recovered
+// with -replay: committed items are re-served bit-identically from their
+// persisted memos without re-running any model, and uncommitted items
+// are relabeled, re-running only what never reached the journal.
+//
 // Usage:
 //
 //	amsserve -workers 4 -rate 3 -items 200 -deadline 0.5
 //	amsserve -workers 4 -memory 8 -compare
 //	amsserve -workers 4 -memory 8 -policy algorithm2
 //	amsserve -agent agent.gob -timescale 1 -rate 1 -items 30
+//	amsserve -external -journal corpus.wal -max-resident 64
+//	amsserve -journal corpus.wal -replay
 package main
 
 import (
@@ -57,8 +68,16 @@ func main() {
 		items    = flag.Int("items", 200, "arrival trace length")
 		compare  = flag.Bool("compare", false, "also run the virtual-time simulation of the same workload")
 		external = flag.Bool("external", false, "serve freshly generated external items (no precomputed ground truth) instead of cycling the held-out split")
+
+		journalPath = flag.String("journal", "", "write-ahead journal path: ingested items become durable, evictable, and crash-recoverable")
+		maxResident = flag.Int("max-resident", 0, "resident-item watermark: admissions block once this many ingested items hold memory (0 = unbounded)")
+		snapEvery   = flag.Int("snapshot-every", 0, "compact the journal into a snapshot every N completed items (0 = never)")
+		replay      = flag.Bool("replay", false, "recover the -journal corpus from a previous (possibly killed) run and exit")
 	)
 	flag.Parse()
+	if (*replay || *maxResident > 0 || *snapEvery > 0) && *journalPath == "" {
+		log.Fatal("amsserve: -replay, -max-resident and -snapshot-every require -journal")
+	}
 
 	sys, err := ams.New(ams.Config{Dataset: *dataset, NumImages: *images, Seed: *seed})
 	if err != nil {
@@ -95,6 +114,42 @@ func main() {
 	}
 	trace := ams.ServeTrace{ArrivalRateHz: float64(*rate), Items: *items, Seed: *seed}
 
+	var corpus *ams.Corpus
+	if *journalPath != "" {
+		corpus, err = sys.OpenCorpus(*journalPath, ams.CorpusOptions{
+			MaxResident:   *maxResident,
+			SnapshotEvery: *snapEvery,
+		})
+		if err != nil {
+			log.Fatalf("amsserve: %v", err)
+		}
+		cfg.Corpus = corpus
+	}
+
+	if *replay {
+		rep, err := sys.ReplayCorpus(context.Background(), agent, cfg, corpus)
+		if rep != nil {
+			fmt.Printf("\nrecovered %d committed items (bit-identical, no model re-runs), relabeled %d uncommitted items\n",
+				len(rep.Recovered), len(rep.Relabeled))
+			for i, r := range rep.Recovered {
+				if i >= 3 {
+					fmt.Printf("  ...\n")
+					break
+				}
+				fmt.Printf("  recovered %q: %d models, %d labels, %.2fs schedule\n",
+					r.ItemID, len(r.ModelsRun), len(r.Labels), r.TimeSec)
+			}
+		}
+		if err != nil {
+			log.Fatalf("amsserve: replay: %v", err)
+		}
+		printCorpus(corpus)
+		if err := corpus.Close(); err != nil {
+			log.Fatalf("amsserve: %v", err)
+		}
+		return
+	}
+
 	// The item source: the built-in test split (cycled) by default, or a
 	// stream of externally generated scenes fed through the same door.
 	var src ams.SceneSource
@@ -115,6 +170,12 @@ func main() {
 		fmt.Printf("  %-18s %8.0f MB (budget %.0f MB, %d blocked reservations)\n",
 			"peak GPU memory", real.PeakMemMB, *memory*1024, real.MemWaits)
 	}
+	if corpus != nil {
+		printCorpus(corpus)
+		if err := corpus.Close(); err != nil {
+			log.Fatalf("amsserve: %v", err)
+		}
+	}
 
 	if *compare {
 		sim, err := sys.SimulateServe(agent, cfg, trace)
@@ -124,6 +185,18 @@ func main() {
 		fmt.Println()
 		printStats("virtual-time sim", sim)
 	}
+}
+
+// printCorpus summarizes retention: how many ingested items the corpus
+// tracks, how many still hold memory, and what the journal costs.
+func printCorpus(c *ams.Corpus) {
+	cs := c.Stats()
+	fmt.Printf("corpus:\n")
+	fmt.Printf("  %-18s %8d (%d committed)\n", "items", cs.Items, cs.Committed)
+	fmt.Printf("  %-18s %8d\n", "resident", cs.Resident)
+	fmt.Printf("  %-18s %8d\n", "evicted", cs.Evicted)
+	fmt.Printf("  %-18s %8d B in %d records (%d snapshots)\n",
+		"journal", cs.JournalBytes, cs.JournalRecords, cs.Snapshots)
 }
 
 func printStats(name string, s ams.ServeStats) {
@@ -140,6 +213,9 @@ func printStats(name string, s ams.ServeStats) {
 	fmt.Printf("  %-18s %8.2f /s\n", "throughput", s.ThroughputHz)
 	fmt.Printf("  %-18s %8.1f %%\n", "utilization", 100*s.Utilization)
 	fmt.Printf("  %-18s %8.2f s\n", "horizon", s.HorizonSec)
+	// Shedding counters: admissions refused by the bounded queue and
+	// Results-stream entries dropped behind a lagging consumer.
+	fmt.Printf("  %-18s %8d rejected, %d results dropped\n", "shedding", s.Rejected, s.ResultsDropped)
 	if s.AvgSelectSec > 0 {
 		// Real (unscaled) CPU time inside the policy per item — the
 		// paper's Table III selection overhead.

@@ -1,0 +1,200 @@
+package ams
+
+import (
+	"context"
+	"fmt"
+
+	"ams/internal/corpus"
+	"ams/internal/zoo"
+)
+
+// ErrCorpusFull is the corpus's admission backpressure signal: the
+// server already holds CorpusOptions.MaxResident resident items. Like
+// ErrQueueFull it means "back off and retry"; SubmitWait blocks through
+// it instead, waiting for an eviction to free a slot.
+var ErrCorpusFull = corpus.ErrFull
+
+// CorpusOptions parameterizes OpenCorpus.
+type CorpusOptions struct {
+	// MaxResident, when positive, bounds how many ingested items may
+	// hold memoized outputs in memory at once. New admissions past the
+	// watermark are refused (Submit returns ErrCorpusFull) or blocked
+	// (SubmitWait) until committed items are evicted. Zero = unbounded.
+	MaxResident int
+	// SnapshotEvery, when positive, compacts the journal into a
+	// snapshot automatically after every N completed items. Zero
+	// disables automatic snapshots (Server.Checkpoint still works).
+	SnapshotEvery int
+}
+
+// CorpusStats is a point-in-time summary of a corpus.
+type CorpusStats struct {
+	Items          int   // ingested items the corpus tracks
+	Resident       int   // items whose memoized outputs occupy memory
+	Committed      int   // items with a journaled completion
+	Evicted        int64 // memo reclamations since open
+	JournalBytes   int64 // current journal size on disk
+	JournalRecords int64 // journal records appended since open
+	Snapshots      int64 // compacting snapshots written since open
+}
+
+// Corpus is a durable, evictable collection of ingested items: the
+// persistence layer between "a server that labels external items" and a
+// production server on an unbounded stream. Wire one into a server via
+// ServeConfig.Corpus and every ingested item's lifecycle becomes
+// journaled and bounded:
+//
+//	admit    — the scene lands in the write-ahead journal before the
+//	           item reaches a worker
+//	memoize  — each (item, model) output is journaled as inference runs
+//	commit   — the completed schedule is journaled; the result a ticket
+//	           or the Results stream delivers is captured at this point
+//	evict    — once committed and no in-flight schedule holds the item,
+//	           its memoized outputs are reclaimed from memory (the
+//	           journal keeps the durable copy)
+//	snapshot — Server.Checkpoint (or SnapshotEvery) compacts journal +
+//	           previous snapshot into one blob and truncates the journal
+//	replay   — OpenCorpus on an existing journal recovers the corpus:
+//	           System.ReplayCorpus re-serves committed items
+//	           bit-identically from their persisted memos (no model
+//	           re-runs) and relabels only uncommitted ones
+//
+// A Corpus is safe for concurrent use but belongs to one server at a
+// time. Close it after the server that uses it has closed.
+type Corpus struct {
+	sys   *System
+	inner *corpus.Corpus
+}
+
+// OpenCorpus opens (or creates) a durable ingestion corpus journaled at
+// path. An existing journal (plus its path+".snap" snapshot, if any) is
+// loaded and its torn tail — the signature of a crash mid-write —
+// discarded, so reopening after a kill at an arbitrary byte offset
+// always yields every record that was fully written.
+//
+// The journal stores scenes and model outputs, so reopening requires a
+// System with the same model zoo (any System does: the zoo is a pure
+// function of the vocabulary); dataset size and split do not matter.
+func (s *System) OpenCorpus(path string, opts CorpusOptions) (*Corpus, error) {
+	inner, err := corpus.Open(s.Zoo, path, corpus.Options{
+		MaxResident:   opts.MaxResident,
+		SnapshotEvery: opts.SnapshotEvery,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("ams: %w", err)
+	}
+	return &Corpus{sys: s, inner: inner}, nil
+}
+
+// Stats returns a point-in-time summary of the corpus.
+func (c *Corpus) Stats() CorpusStats {
+	st := c.inner.Stats()
+	return CorpusStats{
+		Items:          st.Items,
+		Resident:       st.Resident,
+		Committed:      st.Committed,
+		Evicted:        st.Evicted,
+		JournalBytes:   st.JournalBytes,
+		JournalRecords: st.JournalRecords,
+		Snapshots:      st.Snapshots,
+	}
+}
+
+// Snapshot compacts the corpus's journal into a snapshot immediately —
+// what Server.Checkpoint calls. Safe while a server is running.
+func (c *Corpus) Snapshot() error { return c.inner.Snapshot() }
+
+// Close syncs and closes the journal. Close the server using the corpus
+// first; a journal write error that occurred during serving surfaces
+// here if no admission already reported it.
+func (c *Corpus) Close() error { return c.inner.Close() }
+
+// ReplayReport is the outcome of System.ReplayCorpus.
+type ReplayReport struct {
+	// Recovered holds the items whose completion was committed to the
+	// journal before the crash, rebuilt bit-identically from their
+	// persisted memos — no model inference re-runs for these.
+	Recovered []*Result
+	// Relabeled holds the items that were admitted but not committed:
+	// they are labeled afresh through a server, with journaled partial
+	// outputs short-circuiting the models that already ran.
+	Relabeled []*Result
+}
+
+// ReplayCorpus re-serves a reopened corpus — the crash-recovery path.
+// Committed items are rebuilt directly from their journaled schedules
+// and memoized outputs (bit-identical to the results delivered before
+// the crash, zero model executions); uncommitted items are submitted to
+// a fresh server built from cfg (cfg.Corpus is forced to c), so their
+// schedules re-run only the models whose outputs never reached the
+// journal. When every item is committed no server is built and agent
+// may be nil.
+//
+// Results appear in admission (journal) order within each list.
+func (s *System) ReplayCorpus(ctx context.Context, agent *Agent, cfg ServeConfig, c *Corpus) (*ReplayReport, error) {
+	if c == nil {
+		return nil, fmt.Errorf("ams: nil corpus")
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	states := c.inner.States()
+	report := &ReplayReport{}
+	var pending []corpus.ItemState
+	// Recover committed items before any server exists: building a
+	// server reclaims committed memos, and recovery must read them.
+	for _, st := range states {
+		if !st.Committed {
+			pending = append(pending, st)
+			continue
+		}
+		item := c.inner.Item(st.Seq)
+		names := make([]string, len(st.Executed))
+		outs := make([]zoo.Output, len(st.Executed))
+		for i, m := range st.Executed {
+			names[i] = s.Zoo.Models[m].Name
+			outs[i] = item.Output(m) // memoized from the journal
+		}
+		pub := Item{id: st.Tag, image: -1, valid: true}
+		report.Recovered = append(report.Recovered,
+			s.assembleResult(pub, names, outs, st.ScheduleMS, 0, false))
+	}
+	if len(pending) == 0 {
+		c.inner.ReclaimCommitted()
+		return report, nil
+	}
+
+	cfg.Corpus = c
+	srv, err := s.NewServer(agent, cfg)
+	if err != nil {
+		return report, err
+	}
+	tickets := make(map[int]*ServeTicket, len(pending))
+	var submitErr error
+	for _, st := range pending {
+		pub := Item{id: st.Tag, image: -1, valid: true}
+		tk, err := srv.submitIndex(ctx, srv.src.Index(st.Seq), pub)
+		if err != nil {
+			submitErr = err
+			break
+		}
+		tickets[st.Seq] = tk
+	}
+	if err := srv.Close(); err != nil && submitErr == nil {
+		submitErr = err
+	}
+	for _, st := range pending {
+		tk, ok := tickets[st.Seq]
+		if !ok {
+			continue
+		}
+		res, err := tk.Wait(ctx)
+		if err != nil && submitErr == nil {
+			submitErr = err
+		}
+		if res != nil {
+			report.Relabeled = append(report.Relabeled, res)
+		}
+	}
+	return report, submitErr
+}

@@ -11,8 +11,16 @@
 // (labels, models run and time only — production's view). Completions
 // are consumed as one stream through Results, with no tickets held.
 //
+// With -journal the ingestion becomes durable: admitted scenes, memoized
+// model outputs and completed schedules land in a write-ahead journal,
+// and committed items are evicted from memory. A run killed mid-stream
+// is recovered with -replay: committed items come back bit-identically
+// from their persisted memos without re-running any model, uncommitted
+// ones are relabeled.
+//
 // The -images/-epochs/-timescale flags exist so CI can smoke-run the
-// example at a tiny scale.
+// example at a tiny scale (and crash-recover it: see the crash-recovery
+// CI job, which SIGKILLs a -journal run mid-stream and replays it).
 package main
 
 import (
@@ -30,7 +38,12 @@ func main() {
 	images := flag.Int("images", 400, "synthetic images to generate")
 	epochs := flag.Int("epochs", 8, "agent training epochs")
 	timescale := flag.Float64("timescale", 0.001, "real seconds per simulated second")
+	journal := flag.String("journal", "", "write-ahead journal path: makes ingestion durable and crash-recoverable")
+	replay := flag.Bool("replay", false, "recover the -journal corpus from a previous (possibly killed) run and exit")
 	flag.Parse()
+	if *replay && *journal == "" {
+		log.Fatal("labelserver: -replay requires -journal")
+	}
 
 	sys, err := ams.New(ams.Config{Dataset: ams.DatasetMSCOCO, NumImages: *images, Seed: 7})
 	if err != nil {
@@ -47,14 +60,41 @@ func main() {
 	// example finishes instantly. ServeConfig.Policy picks the per-worker
 	// scheduler; ams.PolicyAlgorithm2 would instead run each item's
 	// models in parallel across the pool.
-	srv, err := sys.NewServer(agent, ams.ServeConfig{
+	cfg := ams.ServeConfig{
 		Workers:     4,
 		Policy:      ams.PolicyAlgorithm1,
 		DeadlineSec: 0.5,
 		MemoryGB:    6,
 		QueueCap:    8,
 		TimeScale:   *timescale,
-	})
+	}
+
+	var corpus *ams.Corpus
+	if *journal != "" {
+		// MaxResident 8 keeps at most 8 ingested items' memos in memory:
+		// committed items are evicted (their durable copy is the
+		// journal) and admission of the 9th in-flight item blocks.
+		corpus, err = sys.OpenCorpus(*journal, ams.CorpusOptions{MaxResident: 8})
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg.Corpus = corpus
+	}
+
+	if *replay {
+		rep, err := sys.ReplayCorpus(context.Background(), agent, cfg, corpus)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("recovered %d committed items (no model re-runs), relabeled %d uncommitted items\n",
+			len(rep.Recovered), len(rep.Relabeled))
+		if err := corpus.Close(); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	srv, err := sys.NewServer(agent, cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -127,4 +167,12 @@ func main() {
 	fmt.Printf("recall %.2f over the %d ground-truth-backed items\n", s.AvgRecall, s.RecallItems)
 	fmt.Printf("peak GPU memory %0.f MB of the %0.f MB budget (%d executions waited)\n",
 		s.PeakMemMB, 6.0*1024, s.MemWaits)
+	if corpus != nil {
+		cs := corpus.Stats()
+		fmt.Printf("corpus: %d items (%d committed), %d resident, %d evicted, %d journal bytes\n",
+			cs.Items, cs.Committed, cs.Resident, cs.Evicted, cs.JournalBytes)
+		if err := corpus.Close(); err != nil {
+			log.Fatal(err)
+		}
+	}
 }

@@ -1,0 +1,112 @@
+package corpus
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+
+	"ams/internal/synth"
+	"ams/internal/zoo"
+)
+
+// The journal's wire format: a 5-byte magic+version header followed by
+// length-prefixed records. Each record is an independently gob-encoded
+// record struct preceded by its uvarint byte length, so the reader can
+// stop cleanly at the first incomplete or corrupt record — the tail a
+// crash mid-write leaves behind — and the writer can append with a fresh
+// gob encoder after reopening (a single shared gob stream cannot be
+// appended to: the new encoder would re-transmit type definitions the
+// decoder rejects as duplicates).
+//
+// Unlike the store blob in internal/oracle, the journal has no legacy
+// headerless form: a missing or unknown header fails loudly.
+var journalMagic = [4]byte{'A', 'M', 'S', 'J'}
+
+const (
+	journalVersion = 1
+	headerLen      = 5 // magic + version byte
+
+	// maxRecordLen bounds a single record's declared size, so a corrupt
+	// length prefix cannot ask the reader to allocate gigabytes.
+	maxRecordLen = 64 << 20
+)
+
+// Record kinds: the three events of an item's durable lifecycle.
+const (
+	kindAdmit  = 1 // an item entered the corpus (scene + tag)
+	kindOutput = 2 // one (item, model) output was memoized
+	kindCommit = 3 // the item's schedule completed (result finalized)
+)
+
+// record is the tagged union all three journal events share. Only the
+// fields of the record's Kind are meaningful.
+type record struct {
+	Kind int
+	Seq  int // corpus sequence number of the item the event belongs to
+
+	// kindAdmit
+	Tag   string
+	Scene synth.Scene
+
+	// kindOutput
+	Model int
+	Out   zoo.Output
+
+	// kindCommit
+	Executed   []int
+	ScheduleMS float64
+}
+
+// encodeRecord renders one record in the journal's framing.
+func encodeRecord(rec *record) ([]byte, error) {
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(rec); err != nil {
+		return nil, fmt.Errorf("corpus: encode journal record: %w", err)
+	}
+	frame := binary.AppendUvarint(nil, uint64(payload.Len()))
+	return append(frame, payload.Bytes()...), nil
+}
+
+// parseJournal decodes the records of a journal image (everything after
+// the header). It returns the complete records and the offset just past
+// the last complete one, relative to the start of data: a crash can leave
+// a partial record at the tail, which is not an error — the caller
+// truncates the file there and appends over it. A corrupt record *body*
+// that still gob-decodes to an unknown kind is skipped by the applier,
+// not here.
+func parseJournal(data []byte) (recs []record, goodOffset int) {
+	off := 0
+	for off < len(data) {
+		length, n := binary.Uvarint(data[off:])
+		if n <= 0 || length > maxRecordLen || off+n+int(length) > len(data) {
+			break // partial or corrupt tail
+		}
+		var rec record
+		dec := gob.NewDecoder(bytes.NewReader(data[off+n : off+n+int(length)]))
+		if err := dec.Decode(&rec); err != nil {
+			break
+		}
+		recs = append(recs, rec)
+		off += n + int(length)
+	}
+	return recs, off
+}
+
+// checkHeader validates a journal or snapshot header, distinguishing
+// "not this format at all" from "a future version of it".
+func checkHeader(data []byte, magic [4]byte, version byte, what string) error {
+	if len(data) < headerLen || !bytes.Equal(data[:4], magic[:]) {
+		return fmt.Errorf("corpus: %s has no %s header (not a corpus file, or written before versioning)", what, string(magic[:]))
+	}
+	if data[4] > version {
+		return fmt.Errorf("corpus: %s format version %d is newer than this build supports (%d)",
+			what, data[4], version)
+	}
+	return nil
+}
+
+// header renders a magic+version header.
+func header(magic [4]byte, version byte) []byte {
+	return append(magic[:len(magic):len(magic)], version)
+}

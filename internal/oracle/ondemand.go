@@ -21,6 +21,13 @@ type ExternalItem struct {
 	outs  []zoo.Output
 	done  []bool
 	truth *Truth // nil unless SetTruth (or DeriveTruth) supplied one
+
+	// hook, when set, observes every freshly computed output — the
+	// persistence hook a durable corpus installs to journal memoized
+	// results as they land. It is invoked outside the item lock (the
+	// hook typically takes its own locks and performs I/O) and never for
+	// Preload'ed or replayed outputs.
+	hook func(m int, out zoo.Output)
 }
 
 // NewExternalItem wraps a scene for on-demand execution against the zoo.
@@ -40,12 +47,82 @@ func (it *ExternalItem) Scene() *synth.Scene { return &it.scene }
 // (memoized) result.
 func (it *ExternalItem) Output(m int) zoo.Output {
 	it.mu.Lock()
-	defer it.mu.Unlock()
-	if !it.done[m] {
-		it.outs[m] = it.z.Models[m].Infer(&it.scene)
-		it.done[m] = true
+	if it.done[m] {
+		out := it.outs[m]
+		it.mu.Unlock()
+		return out
 	}
-	return it.outs[m]
+	out := it.z.Models[m].Infer(&it.scene)
+	it.outs[m] = out
+	it.done[m] = true
+	hook := it.hook
+	it.mu.Unlock()
+	// Outside the lock: the hook may take corpus locks that themselves
+	// call back into this item (eviction), so holding it here would
+	// invert the lock order.
+	if hook != nil {
+		hook(m, out)
+	}
+	return out
+}
+
+// SetOutputHook installs the fresh-output observer (see the field doc).
+// A durable corpus installs one per managed item; passing nil removes it.
+func (it *ExternalItem) SetOutputHook(hook func(m int, out zoo.Output)) {
+	it.mu.Lock()
+	it.hook = hook
+	it.mu.Unlock()
+}
+
+// Preload memoizes model m's output without executing it — the replay
+// path: outputs recovered from a journal or snapshot short-circuit zoo
+// inference. The hook is not invoked (the output is already persisted).
+func (it *ExternalItem) Preload(m int, out zoo.Output) {
+	it.mu.Lock()
+	it.outs[m] = out
+	it.done[m] = true
+	it.mu.Unlock()
+}
+
+// Memos returns a copy of the item's memoized outputs: the models that
+// have run and their results, in model order. Snapshot writers call this
+// to persist the item's state.
+func (it *ExternalItem) Memos() (models []int, outs []zoo.Output) {
+	it.mu.Lock()
+	defer it.mu.Unlock()
+	for m, done := range it.done {
+		if done {
+			models = append(models, m)
+			outs = append(outs, it.outs[m])
+		}
+	}
+	return models, outs
+}
+
+// MemoCount returns how many model outputs are currently memoized.
+func (it *ExternalItem) MemoCount() int {
+	it.mu.Lock()
+	defer it.mu.Unlock()
+	n := 0
+	for _, done := range it.done {
+		if done {
+			n++
+		}
+	}
+	return n
+}
+
+// Evict drops the item's memoized outputs, reclaiming their memory. The
+// scene stays, so a later Output re-runs the model — inference is a pure
+// function of (scene, model), so the recomputed result is bit-identical
+// to the evicted one (and a corpus additionally preserves the original on
+// disk). Eviction is the caller's responsibility to sequence: the corpus
+// only evicts items whose results are committed and no longer read.
+func (it *ExternalItem) Evict() {
+	it.mu.Lock()
+	it.outs = make([]zoo.Output, len(it.z.Models))
+	it.done = make([]bool, len(it.z.Models))
+	it.mu.Unlock()
 }
 
 // SetTruth attaches known ground truth to the item, enabling recall

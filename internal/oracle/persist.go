@@ -1,6 +1,8 @@
 package oracle
 
 import (
+	"bufio"
+	"bytes"
 	"encoding/gob"
 	"fmt"
 	"io"
@@ -20,10 +22,44 @@ type storeBlob struct {
 	Outputs [][]zoo.Output
 }
 
+// The persisted-store header: a magic tag plus a format version byte, so
+// a future wire-format change fails loudly ("written by version N") at
+// load time instead of gob-decoding garbage. Version 0 is the historical
+// headerless format (a bare gob stream), which Load still accepts.
+var storeMagic = [4]byte{'A', 'M', 'S', 'B'}
+
+const storeVersion = 1
+
+// writeHeader emits a magic+version header for one of the oracle's gob
+// container formats (the store blob here, the corpus journal and
+// snapshot formats reuse the same shape with their own magic).
+func writeHeader(w io.Writer, magic [4]byte, version byte) error {
+	_, err := w.Write(append(magic[:len(magic):len(magic)], version))
+	return err
+}
+
+// readHeader consumes a magic+version header from br if one is present,
+// returning the version. A stream that does not start with the magic is
+// reported as version 0 with nothing consumed — the legacy headerless
+// format.
+func readHeader(br *bufio.Reader, magic [4]byte) (byte, error) {
+	head, err := br.Peek(len(magic) + 1)
+	if err != nil || !bytes.Equal(head[:len(magic)], magic[:]) {
+		return 0, nil //nolint:nilerr // short/unmatched stream: legacy v0
+	}
+	if _, err := br.Discard(len(magic) + 1); err != nil {
+		return 0, err
+	}
+	return head[len(magic)], nil
+}
+
 // Save writes the store's ground truth to w. The zoo itself is not
 // serialized: the loader must supply an identical registry (enforced by
 // the output shape check on load).
 func (st *Store) Save(w io.Writer) error {
+	if err := writeHeader(w, storeMagic, storeVersion); err != nil {
+		return fmt.Errorf("oracle: save store: %w", err)
+	}
 	blob := storeBlob{Scenes: st.Scenes, Outputs: st.outputs}
 	if err := gob.NewEncoder(w).Encode(blob); err != nil {
 		return fmt.Errorf("oracle: save store: %w", err)
@@ -33,10 +69,21 @@ func (st *Store) Save(w io.Writer) error {
 
 // Load reads a store previously written with Save and re-derives the
 // valuation tables against the provided zoo (label profits are read from
-// the zoo's vocabulary at load time).
+// the zoo's vocabulary at load time). Both the current versioned format
+// and the historical headerless (v0) gob stream are accepted; a header
+// with an unknown version fails loudly.
 func Load(r io.Reader, z *zoo.Zoo) (*Store, error) {
+	br := bufio.NewReader(r)
+	version, err := readHeader(br, storeMagic)
+	if err != nil {
+		return nil, fmt.Errorf("oracle: load store: %w", err)
+	}
+	if version > storeVersion {
+		return nil, fmt.Errorf("oracle: load store: format version %d is newer than this build supports (%d)",
+			version, storeVersion)
+	}
 	var blob storeBlob
-	if err := gob.NewDecoder(r).Decode(&blob); err != nil {
+	if err := gob.NewDecoder(br).Decode(&blob); err != nil {
 		return nil, fmt.Errorf("oracle: load store: %w", err)
 	}
 	if len(blob.Scenes) == 0 || len(blob.Scenes) != len(blob.Outputs) {

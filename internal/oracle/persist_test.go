@@ -2,6 +2,8 @@ package oracle
 
 import (
 	"bytes"
+	"encoding/gob"
+	"strings"
 	"testing"
 )
 
@@ -59,5 +61,54 @@ func TestStoreFileRoundTrip(t *testing.T) {
 func TestLoadRejectsGarbageAndMismatch(t *testing.T) {
 	if _, err := Load(bytes.NewBufferString("junk"), z); err == nil {
 		t.Fatal("garbage accepted")
+	}
+}
+
+func TestSaveWritesVersionHeader(t *testing.T) {
+	var buf bytes.Buffer
+	if err := store.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	head := buf.Bytes()[:5]
+	if !bytes.Equal(head[:4], storeMagic[:]) || head[4] != storeVersion {
+		t.Fatalf("saved header %v, want %v + version %d", head, storeMagic, storeVersion)
+	}
+}
+
+func TestLoadRejectsNewerVersionLoudly(t *testing.T) {
+	var buf bytes.Buffer
+	if err := store.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	data[4] = storeVersion + 7 // a blob from the future
+	_, err := Load(bytes.NewReader(data), z)
+	if err == nil {
+		t.Fatal("future-version blob accepted")
+	}
+	if !strings.Contains(err.Error(), "version") {
+		t.Fatalf("future-version error %q does not name the version", err)
+	}
+}
+
+func TestLoadAcceptsLegacyHeaderlessBlob(t *testing.T) {
+	// A v0 blob is a bare gob stream with no header — what every store
+	// saved before versioning looks like. It must keep loading.
+	var buf bytes.Buffer
+	blob := storeBlob{Scenes: store.Scenes, Outputs: store.outputs}
+	if err := gob.NewEncoder(&buf).Encode(blob); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf, z)
+	if err != nil {
+		t.Fatalf("legacy v0 blob rejected: %v", err)
+	}
+	if loaded.NumScenes() != store.NumScenes() {
+		t.Fatal("legacy load lost scenes")
+	}
+	for i := 0; i < store.NumScenes(); i++ {
+		if loaded.TotalValue(i) != store.TotalValue(i) {
+			t.Fatalf("scene %d total value differs under legacy load", i)
+		}
 	}
 }

@@ -106,17 +106,43 @@ type Config struct {
 	// server: once exceeded, Stats summarizes the most recent window.
 	// Trace replayers raise it to cover their whole trace.
 	StatsWindow int
+
+	// Corpus, when non-nil, makes the server drive a durable item
+	// corpus's lifecycle: every admission registers an in-flight
+	// reference (BeginItem), every completed schedule journals a commit
+	// (CommitItem) before the result is delivered, and failed admissions
+	// release their reference (AbortItem). The executor handed to New is
+	// then typically the corpus's own Source, so ingested items are
+	// journaled, memoized to disk, and evicted once committed.
+	Corpus Corpus
+}
+
+// Corpus is the narrow contract a durable ingestion corpus exposes to
+// the server (implemented by internal/corpus's Source). The server calls
+// BeginItem when an item is admitted, CommitItem when its schedule
+// completes — the item's explicit lifetime boundary: after commit the
+// corpus may evict the item's memoized outputs, which is safe because
+// every completion's outputs are captured into its ItemResult first —
+// and AbortItem when an admission fails after BeginItem.
+type Corpus interface {
+	BeginItem(item int)
+	CommitItem(item int, executed []int, scheduleMS float64)
+	AbortItem(item int)
 }
 
 // defaultStatsWindow bounds retained per-item records (~40 B each).
 const defaultStatsWindow = 1 << 16
 
-// ItemResult is the outcome of one labeled item.
+// ItemResult is the outcome of one labeled item. It is self-contained:
+// Outputs carries the executed models' results by value, captured before
+// the commit is journaled, so reading a result never touches the
+// executor — the item's memo may already be evicted by then.
 type ItemResult struct {
-	Image      int     // item index in the server's executor
-	Tag        string  // caller-supplied identifier, echoed verbatim
-	Executed   []int   // model IDs in execution order
-	ScheduleMS float64 // summed nominal model time; the makespan in ItemParallel mode
+	Image      int          // item index in the server's executor
+	Tag        string       // caller-supplied identifier, echoed verbatim
+	Executed   []int        // model IDs in execution order
+	Outputs    []zoo.Output // the executed models' outputs, parallel to Executed
+	ScheduleMS float64      // summed nominal model time; the makespan in ItemParallel mode
 	Recall     float64
 	HasRecall  bool    // whether the item's ground truth (and so Recall) is known
 	WaitSec    float64 // queue wait on the simulated clock
@@ -136,6 +162,9 @@ type Ticket struct {
 func (t *Ticket) Done() <-chan struct{} { return t.done }
 
 // Wait blocks until the item has been labeled and returns its result.
+// The result is committed before Done closes: its Outputs are captured
+// by value, so Wait never reads the executor and is unaffected by a
+// corpus evicting the item's memo after commit.
 func (t *Ticket) Wait() ItemResult {
 	<-t.done
 	return t.res
@@ -250,17 +279,35 @@ func (s *Server) Submit(item int, tag string) (*Ticket, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Register the in-flight schedule with the corpus before the item
+	// can reach a worker, so a commit can never observe a missing
+	// reference; a failed admission releases it again.
+	if s.cfg.Corpus != nil {
+		s.cfg.Corpus.BeginItem(item)
+	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.closed {
+		s.mu.Unlock()
+		s.abortItem(item)
 		return nil, ErrClosed
 	}
 	select {
 	case s.queue <- tk:
+		s.mu.Unlock()
 		return tk, nil
 	default:
 		s.rejected++
+		s.mu.Unlock()
+		s.abortItem(item)
 		return nil, ErrQueueFull
+	}
+}
+
+// abortItem releases a BeginItem'd corpus reference after a failed
+// admission.
+func (s *Server) abortItem(item int) {
+	if s.cfg.Corpus != nil {
+		s.cfg.Corpus.AbortItem(item)
 	}
 }
 
@@ -271,12 +318,16 @@ func (s *Server) SubmitWait(ctx context.Context, item int, tag string) (*Ticket,
 	if err != nil {
 		return nil, err
 	}
+	if s.cfg.Corpus != nil {
+		s.cfg.Corpus.BeginItem(item)
+	}
 	// Register as a sender before touching the queue: Close drains the
 	// senders group before closing the channel, so a blocked send can
 	// never hit a closed queue.
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
+		s.abortItem(item)
 		return nil, ErrClosed
 	}
 	s.senders.Add(1)
@@ -286,8 +337,10 @@ func (s *Server) SubmitWait(ctx context.Context, item int, tag string) (*Ticket,
 	case s.queue <- tk:
 		return tk, nil
 	case <-s.stop:
+		s.abortItem(item)
 		return nil, ErrClosed
 	case <-ctx.Done():
+		s.abortItem(item)
 		return nil, ctx.Err()
 	}
 }
@@ -448,6 +501,7 @@ func (s *Server) process(policy sim.Policy, tk *Ticket) {
 	remaining := s.cfg.DeadlineSec * 1000
 	var (
 		executed  []int
+		outputs   []zoo.Output
 		schedMS   float64
 		selectSec float64
 	)
@@ -487,12 +541,14 @@ func (s *Server) process(policy sim.Policy, tk *Ticket) {
 			s.acct.release(mod.MemMB)
 		}
 		tr.Execute(m)
-		policy.Observe(m, s.ex.Output(tk.image, m))
+		out := s.ex.Output(tk.image, m)
+		policy.Observe(m, out)
 		executed = append(executed, m)
+		outputs = append(outputs, out)
 		schedMS += mod.TimeMS
 		remaining -= mod.TimeMS
 	}
-	s.finish(tk, startWall, executed, schedMS, selectSec, tr.Recall(), tr.HasTruth())
+	s.finish(tk, startWall, executed, outputs, schedMS, selectSec, tr.Recall(), tr.HasTruth())
 }
 
 // parallelFlight is one in-flight model execution of a parallel item.
@@ -518,6 +574,7 @@ func (s *Server) processParallel(policy sim.Policy, tk *Ticket) {
 		inFly     []parallelFlight
 		nowMS     float64 // the item's nominal schedule clock
 		executed  []int
+		outputs   []zoo.Output
 		selectSec float64
 	)
 	for {
@@ -587,20 +644,28 @@ func (s *Server) processParallel(policy sim.Policy, tk *Ticket) {
 		s.acct.release(mod.MemMB)
 		nowMS = f.finishMS
 		tr.Execute(f.model)
-		policy.Observe(f.model, s.ex.Output(tk.image, f.model))
+		out := s.ex.Output(tk.image, f.model)
+		policy.Observe(f.model, out)
 		executed = append(executed, f.model)
+		outputs = append(outputs, out)
 	}
 	// The coordinating worker is occupied for the whole makespan, so
 	// that — not the summed model time, which can exceed it — is the
 	// busy time charged to utilization.
-	s.finish(tk, startWall, executed, nowMS, selectSec, tr.Recall(), tr.HasTruth())
+	s.finish(tk, startWall, executed, outputs, nowMS, selectSec, tr.Recall(), tr.HasTruth())
 }
 
-// finish records one completed item and resolves its ticket. schedMS is
-// the item's schedule length — the worker time the item occupied, which
-// is also what utilization charges: summed model time serially, the
-// makespan in parallel mode.
-func (s *Server) finish(tk *Ticket, startWall time.Time, executed []int, schedMS, selectSec float64, recall float64, hasRecall bool) {
+// finish commits and records one completed item, then resolves its
+// ticket. schedMS is the item's schedule length — the worker time the
+// item occupied, which is also what utilization charges: summed model
+// time serially, the makespan in parallel mode. The corpus commit (the
+// item's explicit lifetime boundary) happens first: the outputs are
+// already captured by value, so the corpus may evict the item's memo the
+// moment the commit is journaled, before any reader wakes.
+func (s *Server) finish(tk *Ticket, startWall time.Time, executed []int, outputs []zoo.Output, schedMS, selectSec float64, recall float64, hasRecall bool) {
+	if s.cfg.Corpus != nil {
+		s.cfg.Corpus.CommitItem(tk.image, executed, schedMS)
+	}
 	finishWall := time.Now()
 
 	// Record on the simulated clock so Stats is comparable to the sim.
@@ -618,6 +683,7 @@ func (s *Server) finish(tk *Ticket, startWall time.Time, executed []int, schedMS
 		Image:      tk.image,
 		Tag:        tk.tag,
 		Executed:   executed,
+		Outputs:    outputs,
 		ScheduleMS: schedMS,
 		Recall:     recall,
 		HasRecall:  hasRecall,

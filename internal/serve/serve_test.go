@@ -589,3 +589,128 @@ func TestExactlyExhaustedBudgetDoesNotPanic(t *testing.T) {
 		t.Fatalf("peak %v MB, want the exactly-filled 8000", st.PeakMemMB)
 	}
 }
+
+// recordingCorpus records the server's lifecycle calls so the tests can
+// assert the Begin/Commit/Abort pairing contract.
+type recordingCorpus struct {
+	mu      sync.Mutex
+	begins  map[int]int
+	commits map[int]int
+	aborts  map[int]int
+}
+
+func newRecordingCorpus() *recordingCorpus {
+	return &recordingCorpus{
+		begins:  map[int]int{},
+		commits: map[int]int{},
+		aborts:  map[int]int{},
+	}
+}
+
+func (rc *recordingCorpus) BeginItem(item int) {
+	rc.mu.Lock()
+	rc.begins[item]++
+	rc.mu.Unlock()
+}
+
+func (rc *recordingCorpus) CommitItem(item int, executed []int, scheduleMS float64) {
+	rc.mu.Lock()
+	rc.commits[item]++
+	rc.mu.Unlock()
+}
+
+func (rc *recordingCorpus) AbortItem(item int) {
+	rc.mu.Lock()
+	rc.aborts[item]++
+	rc.mu.Unlock()
+}
+
+// TestCorpusLifecycleCalls checks the serve<->corpus contract: every
+// admission Begins exactly once, every completion Commits exactly once
+// before the ticket resolves, and failed admissions Abort their Begin.
+func TestCorpusLifecycleCalls(t *testing.T) {
+	rc := newRecordingCorpus()
+	cfg := fast(2)
+	cfg.QueueCap = 1
+	cfg.Corpus = rc
+	s, err := New(store, randomFactory(5), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tickets []*Ticket
+	rejected := 0
+	for i := 0; i < 12; i++ {
+		tk, err := s.Submit(i%store.NumItems(), "")
+		if errors.Is(err, ErrQueueFull) {
+			rejected++
+			continue
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		tickets = append(tickets, tk)
+	}
+	for _, tk := range tickets {
+		res := tk.Wait()
+		if len(res.Outputs) != len(res.Executed) {
+			t.Fatalf("result outputs %d not parallel to executed %d", len(res.Outputs), len(res.Executed))
+		}
+		// Commit-of-result is the boundary: by Wait time the commit has
+		// been journaled.
+		rc.mu.Lock()
+		committed := rc.commits[res.Image]
+		rc.mu.Unlock()
+		if committed == 0 {
+			t.Fatalf("item %d resolved before its commit", res.Image)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	var begins, commits, aborts int
+	for _, n := range rc.begins {
+		begins += n
+	}
+	for _, n := range rc.commits {
+		commits += n
+	}
+	for _, n := range rc.aborts {
+		aborts += n
+	}
+	if commits != len(tickets) {
+		t.Fatalf("%d commits for %d completed items", commits, len(tickets))
+	}
+	if aborts != rejected {
+		t.Fatalf("%d aborts for %d rejected admissions", aborts, rejected)
+	}
+	if begins != commits+aborts {
+		t.Fatalf("begin/commit+abort imbalance: %d vs %d+%d", begins, commits, aborts)
+	}
+}
+
+// TestSubmitAfterCloseAborts checks the Begin released on the closed path.
+func TestSubmitAfterCloseAborts(t *testing.T) {
+	rc := newRecordingCorpus()
+	cfg := fast(1)
+	cfg.Corpus = rc
+	s, err := New(store, randomFactory(6), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Submit(0, ""); !errors.Is(err, ErrClosed) {
+		t.Fatalf("submit after close: %v", err)
+	}
+	if _, err := s.SubmitWait(context.Background(), 0, ""); !errors.Is(err, ErrClosed) {
+		t.Fatalf("submit-wait after close: %v", err)
+	}
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	if rc.begins[0] != rc.aborts[0] || rc.begins[0] == 0 {
+		t.Fatalf("closed-server admissions: %d begins, %d aborts", rc.begins[0], rc.aborts[0])
+	}
+}

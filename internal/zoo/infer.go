@@ -2,11 +2,22 @@ package zoo
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"ams/internal/labels"
 	"ams/internal/synth"
 	"ams/internal/tensor"
 )
+
+// inferCount counts every simulated model execution process-wide. Tests
+// and recovery probes read it through Inferences to assert that a replay
+// path served memoized outputs instead of re-running models.
+var inferCount atomic.Int64
+
+// Inferences returns the total number of model executions performed by
+// this process so far. Deltas around an operation measure how much real
+// inference it triggered (zero for a fully memoized replay).
+func Inferences() int64 { return inferCount.Load() }
 
 // ValuableThreshold is the confidence at or above which a label counts as
 // valuable. The paper treats high-confidence labels as the valuable output
@@ -18,6 +29,7 @@ const ValuableThreshold = 0.5
 // output, which is what lets the oracle precompute "no policy" ground
 // truth once and replay it.
 func (m *Model) Infer(s *synth.Scene) Output {
+	inferCount.Add(1)
 	r := m.rng(s)
 	var out Output
 	emit := func(id int, conf float64) {

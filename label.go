@@ -8,6 +8,7 @@ import (
 	"ams/internal/oracle"
 	"ams/internal/sched"
 	"ams/internal/sim"
+	"ams/internal/zoo"
 )
 
 // Agent is a trained model-value predictor ready to drive scheduling.
@@ -191,23 +192,40 @@ func (s *System) OptimalStarRecall(image int, b Budget) (float64, error) {
 
 // buildResult converts an execution trace into the public Result,
 // reading the executed models' (memoized) outputs back from the
-// executor.
+// executor. The serving layer instead captures outputs by value at
+// commit time and goes straight to assembleResult — after commit an
+// item's memo may already be evicted.
 func (s *System) buildResult(ex oracle.Executor, idx int, item Item, res sim.SerialResult) *Result {
+	names := make([]string, len(res.Executed))
+	outputs := make([]zoo.Output, len(res.Executed))
+	for i, m := range res.Executed {
+		names[i] = ex.Model(m).Name
+		outputs[i] = ex.Output(idx, m)
+	}
+	return s.assembleResult(item, names, outputs, res.TimeMS, res.Recall, res.HasRecall)
+}
+
+// assembleResult reduces an executed schedule — model names and their
+// outputs, by value — to the public Result: labels deduplicated at their
+// best confidence, in first-emission order. It is the shared tail of
+// the lazy (buildResult) and captured-output (server, corpus recovery)
+// paths.
+func (s *System) assembleResult(item Item, modelNames []string, outputs []zoo.Output, timeMS, recall float64, hasRecall bool) *Result {
 	out := &Result{
 		Image:     item.image,
 		ItemID:    item.id,
-		TimeSec:   res.TimeMS / 1000,
-		Recall:    res.Recall,
-		HasRecall: res.HasRecall,
+		TimeSec:   timeMS / 1000,
+		Recall:    recall,
+		HasRecall: hasRecall,
 	}
 	if item.ext != nil {
 		out.Image = -1
 	}
 	seen := map[int]float64{}
 	var order []int
-	for _, m := range res.Executed {
-		out.ModelsRun = append(out.ModelsRun, ex.Model(m).Name)
-		for _, lc := range ex.Output(idx, m).Labels {
+	for i, name := range modelNames {
+		out.ModelsRun = append(out.ModelsRun, name)
+		for _, lc := range outputs[i].Labels {
 			if prev, ok := seen[lc.ID]; !ok {
 				seen[lc.ID] = lc.Conf
 				order = append(order, lc.ID)

@@ -1,0 +1,442 @@
+package ams
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"ams/internal/oracle"
+	"ams/internal/zoo"
+)
+
+// corpusCfg is the fast serving configuration the corpus tests share.
+// Corpus is left nil; each test wires its own.
+func corpusCfg(workers int) ServeConfig {
+	return ServeConfig{
+		Workers:     workers,
+		Policy:      PolicyAlgorithm1,
+		DeadlineSec: 0.4,
+		TimeScale:   0.001,
+	}
+}
+
+// runCorpusStream serves the items through a fresh corpus-wired server
+// and returns every result keyed by item ID.
+func runCorpusStream(t *testing.T, c *Corpus, cfg ServeConfig, items []Item) map[string]*Result {
+	t.Helper()
+	cfg.Corpus = c
+	srv, err := testSys.NewServer(testAgent, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tks []*ServeTicket
+	for _, it := range items {
+		tk, err := srv.SubmitWait(bg, it)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tks = append(tks, tk)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	results := make(map[string]*Result, len(tks))
+	for _, tk := range tks {
+		res, err := tk.Wait(bg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		results[res.ItemID] = res
+	}
+	return results
+}
+
+// sameResult compares the fields a recovered result must reproduce
+// bit-identically: the labels (names, confidences, valuable flags), the
+// executed models in order, and the schedule time.
+func sameResult(a, b *Result) bool {
+	return reflect.DeepEqual(a.Labels, b.Labels) &&
+		reflect.DeepEqual(a.ModelsRun, b.ModelsRun) &&
+		a.TimeSec == b.TimeSec && a.ItemID == b.ItemID
+}
+
+// TestCorpusCrashReplayBitIdentical is the acceptance probe: a journaled
+// run, reopened (both intact and truncated at arbitrary byte offsets),
+// re-serves every committed item bit-identically without re-running a
+// single model — verified by the zoo's inference counter — and re-runs
+// only uncommitted items.
+func TestCorpusCrashReplayBitIdentical(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "corpus.wal")
+	c, err := testSys.OpenCorpus(path, CorpusOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	items := testSys.GenerateItems(12, 42)
+	original := runCorpusStream(t, c, corpusCfg(2), items)
+	if len(original) != 12 {
+		t.Fatalf("served %d items, want 12", len(original))
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Intact journal: every item was committed, so recovery re-runs
+	// nothing — not one inference — and reproduces every result.
+	c2, err := testSys.OpenCorpus(path, CorpusOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := zoo.Inferences()
+	rep, err := testSys.ReplayCorpus(bg, testAgent, corpusCfg(2), c2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ran := zoo.Inferences() - before; ran != 0 {
+		t.Fatalf("replay of a fully committed corpus ran %d inferences; want 0", ran)
+	}
+	if len(rep.Recovered) != 12 || len(rep.Relabeled) != 0 {
+		t.Fatalf("recovered %d / relabeled %d, want 12 / 0", len(rep.Recovered), len(rep.Relabeled))
+	}
+	for _, res := range rep.Recovered {
+		want, ok := original[res.ItemID]
+		if !ok {
+			t.Fatalf("recovered unknown item %q", res.ItemID)
+		}
+		if !sameResult(res, want) {
+			t.Fatalf("recovered %q differs from the pre-crash result:\n got %+v\nwant %+v", res.ItemID, res, want)
+		}
+		if res.Image != -1 || res.HasRecall {
+			t.Fatalf("recovered %q claims a test index or recall: %+v", res.ItemID, res)
+		}
+	}
+	if err := c2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill at arbitrary byte offsets: the journal prefix must always
+	// reopen, committed items in the prefix recover bit-identically, and
+	// the rest relabel.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, frac := range []float64{0.2, 0.5, 0.8, 0.99} {
+		cut := 5 + int(frac*float64(len(data)-5))
+		p := filepath.Join(dir, fmt.Sprintf("trunc%d.wal", i))
+		if err := os.WriteFile(p, data[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		tc, err := testSys.OpenCorpus(p, CorpusOptions{})
+		if err != nil {
+			t.Fatalf("cut=%d: %v", cut, err)
+		}
+		rep, err := testSys.ReplayCorpus(bg, testAgent, corpusCfg(2), tc)
+		if err != nil {
+			t.Fatalf("cut=%d: replay: %v", cut, err)
+		}
+		for _, res := range rep.Recovered {
+			if want := original[res.ItemID]; want == nil || !sameResult(res, want) {
+				t.Fatalf("cut=%d: recovered %q differs from the pre-crash result", cut, res.ItemID)
+			}
+		}
+		if total := len(rep.Recovered) + len(rep.Relabeled); total > 12 {
+			t.Fatalf("cut=%d: replay produced %d items from a 12-item run", cut, total)
+		}
+		for _, res := range rep.Relabeled {
+			if res.ItemID == "" {
+				t.Fatalf("cut=%d: relabeled result lost its ID", cut)
+			}
+		}
+		if err := tc.Close(); err != nil {
+			t.Fatalf("cut=%d: close: %v", cut, err)
+		}
+	}
+}
+
+// TestCorpusWatermarkUnderOverload is the second acceptance probe: a
+// bounded-MaxResident server fed 10x its watermark holds resident items
+// at the watermark (admission backpressure + eviction), and an item that
+// was committed and evicted remains servable with a bit-identical result.
+func TestCorpusWatermarkUnderOverload(t *testing.T) {
+	const maxResident = 4
+	path := filepath.Join(t.TempDir(), "corpus.wal")
+	c, err := testSys.OpenCorpus(path, CorpusOptions{MaxResident: maxResident})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := corpusCfg(2)
+	cfg.QueueCap = 2
+	cfg.Corpus = c
+	srv, err := testSys.NewServer(testAgent, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	items := testSys.GenerateItems(10*maxResident, 7)
+
+	// Sample residency while the overload stream runs.
+	stopSampling := make(chan struct{})
+	var samplerDone sync.WaitGroup
+	var peakResident int
+	samplerDone.Add(1)
+	go func() {
+		defer samplerDone.Done()
+		for {
+			select {
+			case <-stopSampling:
+				return
+			default:
+			}
+			if r := c.Stats().Resident; r > peakResident {
+				peakResident = r
+			}
+			time.Sleep(50 * time.Microsecond)
+		}
+	}()
+
+	// First item first, alone, so it is committed and evicted before the
+	// flood — the re-serve probe at the end targets it.
+	firstTk, err := srv.SubmitWait(bg, items[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := firstTk.Wait(bg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	tks := make(chan *ServeTicket, len(items))
+	for p := 0; p < 4; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := p + 1; i < len(items); i += 4 {
+				tk, err := srv.SubmitWait(bg, items[i])
+				if err != nil {
+					t.Errorf("submit %d: %v", i, err)
+					return
+				}
+				tks <- tk
+			}
+		}(p)
+	}
+	wg.Wait()
+	close(tks)
+	served := 1
+	for tk := range tks {
+		if _, err := tk.Wait(bg); err != nil {
+			t.Fatal(err)
+		}
+		served++
+	}
+	close(stopSampling)
+	samplerDone.Wait()
+	if served != len(items) {
+		t.Fatalf("served %d of %d items", served, len(items))
+	}
+	if peakResident > maxResident {
+		t.Fatalf("resident items peaked at %d, watermark %d", peakResident, maxResident)
+	}
+	if st := c.Stats(); st.Evicted < int64(len(items)-maxResident) {
+		t.Fatalf("only %d evictions across a %d-item overload stream", st.Evicted, len(items))
+	}
+
+	// The first item was committed and evicted long ago; re-submitting it
+	// re-serves it (deterministic re-execution) bit-identically.
+	againTk, err := srv.SubmitWait(bg, items[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := againTk.Wait(bg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameResult(again, first) {
+		t.Fatalf("re-served evicted item differs:\n got %+v\nwant %+v", again, first)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if st := c.Stats(); st.Items != len(items) {
+		t.Fatalf("corpus tracks %d items, want %d (re-submission must reuse its slot)", st.Items, len(items))
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCorpusEvictionWithLaggingConsumer is the -race satellite: eager
+// eviction must never reclaim data a lagging Results consumer still
+// needs. Results are captured by value at commit, so every delivered
+// result must match an independent recomputation of its models on the
+// item's scene, no matter how far behind the consumer runs.
+func TestCorpusEvictionWithLaggingConsumer(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "corpus.wal")
+	c, err := testSys.OpenCorpus(path, CorpusOptions{MaxResident: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := corpusCfg(2)
+	cfg.Corpus = c
+	srv, err := testSys.NewServer(testAgent, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	items := testSys.GenerateItems(24, 11)
+	scenes := make(map[string]Item, len(items))
+	for _, it := range items {
+		scenes[it.ID()] = it
+	}
+
+	results := srv.Results()
+	consumed := make(chan int)
+	go func() {
+		n := 0
+		for res := range results {
+			// Lag far behind the workers, so eviction churns ahead of us.
+			time.Sleep(2 * time.Millisecond)
+			src, ok := scenes[res.ItemID]
+			if !ok {
+				t.Errorf("result for unknown item %q", res.ItemID)
+				continue
+			}
+			// Recompute the executed models on a twin of the scene:
+			// inference is deterministic, so a result whose memory was
+			// reclaimed out from under the stream would differ.
+			twin := oracle.NewExternalItem(testSys.Zoo, *src.ext.Scene())
+			names := res.ModelsRun
+			outs := make([]zoo.Output, len(names))
+			for i, name := range names {
+				m, ok := testSys.Zoo.ByName(name)
+				if !ok {
+					t.Errorf("unknown model %q in result", name)
+					continue
+				}
+				outs[i] = twin.Output(m.ID)
+			}
+			want := testSys.assembleResult(Item{id: res.ItemID, image: -1, valid: true},
+				names, outs, res.TimeSec*1000, 0, false)
+			if !reflect.DeepEqual(res.Labels, want.Labels) {
+				t.Errorf("item %q: delivered labels diverge from recomputation", res.ItemID)
+			}
+			n++
+		}
+		consumed <- n
+	}()
+
+	for _, it := range items {
+		if _, err := srv.SubmitWait(bg, it); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if n := <-consumed; n != len(items) {
+		t.Fatalf("consumer saw %d of %d results", n, len(items))
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCheckpointCompactsAndPreservesRecovery: Server.Checkpoint shrinks
+// the journal mid-run, and a corpus recovered across a snapshot boundary
+// still replays every committed item without inference — including items
+// evicted before the snapshot, whose outputs the snapshot merge carried
+// over from the journal.
+func TestCheckpointCompactsAndPreservesRecovery(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "corpus.wal")
+	c, err := testSys.OpenCorpus(path, CorpusOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	original := runCorpusStream(t, c, corpusCfg(2), testSys.GenerateItems(8, 5))
+
+	cfg := corpusCfg(2)
+	cfg.Corpus = c
+	srv, err := testSys.NewServer(testAgent, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grown := c.Stats().JournalBytes
+	if err := srv.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if st := c.Stats(); st.JournalBytes >= grown || st.Snapshots != 1 {
+		t.Fatalf("checkpoint did not compact: %+v (journal was %d bytes)", st, grown)
+	}
+	// More traffic after the snapshot, then a clean close.
+	for id, res := range runCorpusStreamVia(t, srv, testSys.GenerateItems(4, 6)) {
+		original[id] = res
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	c2, err := testSys.OpenCorpus(path, CorpusOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := zoo.Inferences()
+	rep, err := testSys.ReplayCorpus(bg, testAgent, corpusCfg(2), c2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ran := zoo.Inferences() - before; ran != 0 {
+		t.Fatalf("post-snapshot recovery ran %d inferences; want 0", ran)
+	}
+	if len(rep.Recovered) != len(original) {
+		t.Fatalf("recovered %d items, want %d", len(rep.Recovered), len(original))
+	}
+	for _, res := range rep.Recovered {
+		if want := original[res.ItemID]; want == nil || !sameResult(res, want) {
+			t.Fatalf("recovered %q differs across the snapshot boundary", res.ItemID)
+		}
+	}
+	if err := c2.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// runCorpusStreamVia submits through an existing server (no close).
+func runCorpusStreamVia(t *testing.T, srv *Server, items []Item) map[string]*Result {
+	t.Helper()
+	var tks []*ServeTicket
+	for _, it := range items {
+		tk, err := srv.SubmitWait(bg, it)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tks = append(tks, tk)
+	}
+	out := make(map[string]*Result, len(tks))
+	for _, tk := range tks {
+		res, err := tk.Wait(bg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[res.ItemID] = res
+	}
+	return out
+}
+
+// TestCheckpointWithoutCorpus fails loudly instead of silently no-oping.
+func TestCheckpointWithoutCorpus(t *testing.T) {
+	srv, err := testSys.NewServer(testAgent, corpusCfg(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if err := srv.Checkpoint(); err == nil {
+		t.Fatal("checkpoint without a corpus succeeded")
+	}
+}

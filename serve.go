@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"ams/internal/corpus"
 	"ams/internal/oracle"
 	"ams/internal/serve"
 	"ams/internal/service"
@@ -50,6 +51,14 @@ type ServeConfig struct {
 	// 65536): a long-running server summarizes only the most recent
 	// window, while ServeStats.Completed keeps the total count.
 	StatsWindow int
+	// Corpus, when non-nil, makes ingestion durable and bounded: every
+	// external item the server admits is journaled (scene, each
+	// memoized model output, and the completed schedule), evicted from
+	// memory once committed and unreferenced, and recoverable after a
+	// crash via OpenCorpus + ReplayCorpus. Creating the server reclaims
+	// the memos of items already committed in the corpus's journal —
+	// replay first (ReplayCorpus) if those results are still wanted.
+	Corpus *Corpus
 }
 
 // ServeTrace describes a Poisson arrival trace for Serve and
@@ -99,15 +108,20 @@ type ServeStats struct {
 // tickets or as a stream through Results.
 type Server struct {
 	sys    *System
-	ingest *oracle.OnDemand // test store + dynamically ingested items
+	ingest *oracle.OnDemand // test store + dynamically ingested items (no corpus)
+	corpus *Corpus          // durable ingestion, when configured
+	src    *corpus.Source   // the corpus's executor view (nil without corpus)
 	inner  *serve.Server
 
 	// ingested memoizes each external item's executor index so repeated
 	// submissions of one item — including backoff-retries after
 	// ErrQueueFull — reuse the slot instead of growing the executor per
-	// attempt.
-	mu       sync.Mutex
-	ingested map[*oracle.ExternalItem]int
+	// attempt. admitting marks items whose (possibly blocking) corpus
+	// admission is in flight, so one item is never journaled twice; mu
+	// itself is never held across a wait.
+	mu        sync.Mutex
+	ingested  map[*oracle.ExternalItem]int
+	admitting map[*oracle.ExternalItem]chan struct{}
 
 	resOnce sync.Once
 	res     chan *Result
@@ -116,9 +130,7 @@ type Server struct {
 // ServeTicket tracks one submitted item to completion.
 type ServeTicket struct {
 	sys  *System
-	ex   oracle.Executor
 	item Item
-	idx  int
 	in   *serve.Ticket
 }
 
@@ -128,6 +140,11 @@ func (t *ServeTicket) Done() <-chan struct{} { return t.in.Done() }
 // Wait blocks until the item has been labeled — or ctx is cancelled,
 // which abandons the wait (not the item: the server still finishes it)
 // and returns ctx.Err().
+//
+// Commit-of-result is the item's explicit lifetime boundary: by the time
+// Wait returns, the result's outputs have been captured by value (and,
+// with a corpus, the completion journaled), so the result stays valid
+// even after the corpus evicts the item's in-memory outputs.
 func (t *ServeTicket) Wait(ctx context.Context) (*Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -137,13 +154,17 @@ func (t *ServeTicket) Wait(ctx context.Context) (*Result, error) {
 	case <-ctx.Done():
 		return nil, ctx.Err()
 	}
-	res := t.in.Wait()
-	return t.sys.buildResult(t.ex, t.idx, t.item, sim.SerialResult{
-		Executed:  res.Executed,
-		TimeMS:    res.ScheduleMS,
-		Recall:    res.Recall,
-		HasRecall: res.HasRecall,
-	}), nil
+	return t.sys.serveResult(t.item, t.in.Wait()), nil
+}
+
+// serveResult converts a server completion — which carries its executed
+// outputs by value, captured before the commit — into the public Result.
+func (s *System) serveResult(item Item, ir serve.ItemResult) *Result {
+	names := make([]string, len(ir.Executed))
+	for i, m := range ir.Executed {
+		names[i] = s.Zoo.Models[m].Name
+	}
+	return s.assembleResult(item, names, ir.Outputs, ir.ScheduleMS, ir.Recall, ir.HasRecall)
 }
 
 // NewServer starts a concurrent labeling server driven by the agent. The
@@ -155,8 +176,32 @@ func (s *System) NewServer(agent *Agent, cfg ServeConfig) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	ingest := oracle.NewOnDemand(s.Zoo, s.testStore)
-	inner, err := serve.New(ingest, factory, serve.Config{
+	sv := &Server{
+		sys:       s,
+		corpus:    cfg.Corpus,
+		ingested:  make(map[*oracle.ExternalItem]int),
+		admitting: make(map[*oracle.ExternalItem]chan struct{}),
+	}
+	var (
+		ex         oracle.Executor
+		corpusHook serve.Corpus
+	)
+	if cfg.Corpus != nil {
+		if cfg.Corpus.sys.Zoo != s.Zoo {
+			return nil, fmt.Errorf("ams: corpus opened by a different System")
+		}
+		sv.src = cfg.Corpus.inner.Source(s.testStore)
+		ex = sv.src
+		corpusHook = sv.src
+		// History already committed in the journal was delivered before:
+		// reclaim its memos so a reopened corpus does not pin them.
+		// ReplayCorpus recovers those results *before* building a server.
+		cfg.Corpus.inner.ReclaimCommitted()
+	} else {
+		sv.ingest = oracle.NewOnDemand(s.Zoo, s.testStore)
+		ex = sv.ingest
+	}
+	inner, err := serve.New(ex, factory, serve.Config{
 		Config: service.Config{
 			Workers:     cfg.Workers,
 			DeadlineSec: cfg.DeadlineSec,
@@ -166,29 +211,27 @@ func (s *System) NewServer(agent *Agent, cfg ServeConfig) (*Server, error) {
 		TimeScale:      cfg.TimeScale,
 		StatsWindow:    cfg.StatsWindow,
 		ItemParallel:   policy.parallel,
+		Corpus:         corpusHook,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("ams: %w", err)
 	}
-	return &Server{
-		sys:      s,
-		ingest:   ingest,
-		inner:    inner,
-		ingested: make(map[*oracle.ExternalItem]int),
-	}, nil
+	sv.inner = inner
+	return sv, nil
 }
 
 // resolve maps an item onto the server's executor index, ingesting
 // external content. One external item occupies one executor slot no
 // matter how often it is submitted or how many admissions fail.
 //
-// Ingested slots live as long as the server: results (tickets, the
-// Results stream) read an item's memoized outputs lazily, so slots are
-// not reclaimed on completion. A server that ingests an unbounded
-// external stream therefore grows with the distinct items it has
-// accepted — restart servers on corpus boundaries, or reuse Items, to
-// bound it (eviction of consumed items is a roadmap item).
-func (sv *Server) resolve(item Item) (int, error) {
+// Without a corpus, ingested slots live as long as the server (results
+// carry their outputs by value, but the item's memo itself is never
+// reclaimed): a server on an unbounded external stream grows with its
+// distinct accepted items. With a corpus, admission journals the scene
+// first and committed items are evicted, bounding residency at
+// CorpusOptions.MaxResident — blocking admissions wait for an eviction,
+// non-blocking ones fail with ErrCorpusFull.
+func (sv *Server) resolve(ctx context.Context, item Item, blocking bool) (int, error) {
 	ext, err := sv.sys.checkItem(item)
 	if err != nil {
 		return 0, err
@@ -196,20 +239,64 @@ func (sv *Server) resolve(item Item) (int, error) {
 	if ext == nil {
 		return item.image, nil
 	}
-	sv.mu.Lock()
-	idx, ok := sv.ingested[ext]
-	if !ok {
-		idx = sv.ingest.Add(ext)
-		sv.ingested[ext] = idx
+	for {
+		sv.mu.Lock()
+		if idx, ok := sv.ingested[ext]; ok {
+			sv.mu.Unlock()
+			return idx, nil
+		}
+		if sv.src == nil {
+			idx := sv.ingest.Add(ext)
+			sv.ingested[ext] = idx
+			sv.mu.Unlock()
+			return idx, nil
+		}
+		pending, inFlight := sv.admitting[ext]
+		if !inFlight {
+			pending = make(chan struct{})
+			sv.admitting[ext] = pending
+		}
+		sv.mu.Unlock()
+		if inFlight {
+			// Another goroutine is admitting this same item. Submit must
+			// not wait (the peer may be blocked on the watermark), so it
+			// reports transient backpressure; SubmitWait waits for the
+			// peer's outcome and re-checks the index map.
+			if !blocking {
+				return 0, ErrCorpusFull
+			}
+			select {
+			case <-pending:
+				continue
+			case <-ctx.Done():
+				return 0, ctx.Err()
+			}
+		}
+		// This goroutine owns the admission; mu is NOT held across the
+		// (possibly watermark-blocked) wait, so unrelated submissions —
+		// and their contexts — stay live.
+		var idx int
+		if blocking {
+			idx, err = sv.src.AdmitWait(ctx, *ext.Scene(), item.id)
+		} else {
+			idx, err = sv.src.TryAdmit(*ext.Scene(), item.id)
+		}
+		sv.mu.Lock()
+		if err == nil {
+			sv.ingested[ext] = idx
+		}
+		delete(sv.admitting, ext)
+		close(pending)
+		sv.mu.Unlock()
+		return idx, err
 	}
-	sv.mu.Unlock()
-	return idx, nil
 }
 
-// Submit admits one item without blocking; ErrQueueFull means the server
-// is saturated and the caller should back off.
+// Submit admits one item without blocking; ErrQueueFull (server
+// saturated) and ErrCorpusFull (resident watermark reached) both mean
+// the caller should back off and retry.
 func (sv *Server) Submit(item Item) (*ServeTicket, error) {
-	idx, err := sv.resolve(item)
+	idx, err := sv.resolve(context.Background(), item, false)
 	if err != nil {
 		return nil, err
 	}
@@ -217,21 +304,39 @@ func (sv *Server) Submit(item Item) (*ServeTicket, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &ServeTicket{sys: sv.sys, ex: sv.ingest, item: item, idx: idx, in: tk}, nil
+	return &ServeTicket{sys: sv.sys, item: item, in: tk}, nil
 }
 
-// SubmitWait admits one item, blocking under backpressure until space
-// frees or the context is cancelled (returning ctx.Err()).
+// SubmitWait admits one item, blocking under backpressure — a full
+// queue, or a corpus at its resident watermark — until space frees or
+// the context is cancelled (returning ctx.Err()).
 func (sv *Server) SubmitWait(ctx context.Context, item Item) (*ServeTicket, error) {
-	idx, err := sv.resolve(item)
+	idx, err := sv.resolve(ctx, item, true)
 	if err != nil {
 		return nil, err
 	}
+	return sv.submitIndex(ctx, idx, item)
+}
+
+// submitIndex is the resolved-index tail of SubmitWait, also used by
+// ReplayCorpus to re-submit items that already hold corpus slots.
+func (sv *Server) submitIndex(ctx context.Context, idx int, item Item) (*ServeTicket, error) {
 	tk, err := sv.inner.SubmitWait(ctx, idx, item.id)
 	if err != nil {
 		return nil, err
 	}
-	return &ServeTicket{sys: sv.sys, ex: sv.ingest, item: item, idx: idx, in: tk}, nil
+	return &ServeTicket{sys: sv.sys, item: item, in: tk}, nil
+}
+
+// Checkpoint compacts the server's corpus immediately: the previous
+// snapshot, the journal, and the in-memory state merge into one
+// snapshot blob and the journal restarts empty. It fails when the
+// server was built without ServeConfig.Corpus.
+func (sv *Server) Checkpoint() error {
+	if sv.corpus == nil {
+		return fmt.Errorf("ams: server has no corpus to checkpoint")
+	}
+	return sv.corpus.Snapshot()
 }
 
 // SubmitImage is the deprecated index-based surface: it submits held-out
@@ -253,6 +358,12 @@ func (sv *Server) SubmitImage(image int) (*ServeTicket, error) {
 // Like time.Tick, a subscription that is never drained holds its
 // bounded buffer and two forwarding goroutines until the process exits;
 // a consumer should read until the channel closes.
+//
+// Every delivered result was committed first — commit-of-result is the
+// item's lifetime boundary: the result's labels and outputs are captured
+// by value at commit, so a lagging consumer still reads intact results
+// after the corpus has evicted (or a journal has compacted away) the
+// items they came from.
 func (sv *Server) Results() <-chan *Result {
 	sv.resOnce.Do(func() {
 		inner := sv.inner.Results()
@@ -265,12 +376,7 @@ func (sv *Server) Results() <-chan *Result {
 					// Ingested item: no test-split index to report.
 					item.image = -1
 				}
-				ch <- sv.sys.buildResult(sv.ingest, ir.Image, item, sim.SerialResult{
-					Executed:  ir.Executed,
-					TimeMS:    ir.ScheduleMS,
-					Recall:    ir.Recall,
-					HasRecall: ir.HasRecall,
-				})
+				ch <- sv.sys.serveResult(item, ir)
 			}
 		}()
 		sv.res = ch
