@@ -363,6 +363,59 @@ func BenchmarkServe1Worker(b *testing.B)  { benchmarkServe(b, 1) }
 func BenchmarkServe4Workers(b *testing.B) { benchmarkServe(b, 4) }
 func BenchmarkServe8Workers(b *testing.B) { benchmarkServe(b, 8) }
 
+// benchmarkServeBatching measures whole-trace throughput on the
+// memory-bound hot-model workload where cross-item batching is the
+// lever: a tight budget (one-ish footprint at a time), a short deadline
+// concentrating every item on the same top-ratio models, and a pool of
+// saturating clients. One bench iteration serves a wave of items; the
+// items/s metric is the number to compare across the pair. TimeScale is
+// 1e-3 — large enough that reservations are held for real, so the
+// memory contention batching removes actually exists.
+func benchmarkServeBatching(b *testing.B, batch int) {
+	sys, agent := serveBench(b)
+	srv, err := sys.NewServer(agent, ServeConfig{
+		Workers:     8,
+		DeadlineSec: 0.2,
+		MemoryGB:    1,
+		QueueCap:    64,
+		TimeScale:   1e-3,
+		BatchSize:   batch,
+		BatchHoldMS: 600,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	const wave = 64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tickets := make([]*ServeTicket, wave)
+		for j := range tickets {
+			img := (i*wave + j) % sys.NumTestImages()
+			if tickets[j], err = srv.SubmitWait(context.Background(), sys.TestItem(img)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		for _, tk := range tickets {
+			if _, err := tk.Wait(context.Background()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(wave*b.N)/b.Elapsed().Seconds(), "items/s")
+	if err := srv.Close(); err != nil {
+		b.Fatal(err)
+	}
+	if batch > 0 {
+		if st := srv.Stats(); st.Batches == 0 {
+			b.Fatal("batching path never exercised")
+		}
+	}
+}
+
+func BenchmarkServeUnbatched(b *testing.B) { benchmarkServeBatching(b, 0) }
+func BenchmarkServeBatched(b *testing.B)   { benchmarkServeBatching(b, 8) }
+
 // BenchmarkSelectOverhead quantifies the Q-prediction memo: the same
 // Algorithm-2 serving workload with and without the per-schedule cache,
 // reporting the real per-item selection overhead (ServeStats.AvgSelectSec,
@@ -377,7 +430,7 @@ func benchmarkSelectOverhead(b *testing.B, cached bool) {
 		// The registry policy wraps the agent in the memo; this variant
 		// bypasses it to measure the raw forward-pass cost.
 		policy = Policy{name: "algorithm2-uncached", parallel: true, needsAgent: true,
-			build: func(s *System, ag *Agent, _ uint64) sim.Policy {
+			build: func(s *System, ag *Agent, _ uint64, _ *sched.SharedCache) sim.Policy {
 				return sched.NewMemoryPacker(ag.cloneInner(), s.Zoo)
 			}}
 	}

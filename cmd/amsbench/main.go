@@ -22,7 +22,7 @@ var order = []string{
 	"table1", "table2", "fig1", "fig2", "fig4", "fig5", "fig6", "fig7",
 	"fig8", "fig9", "fig10", "fig11", "fig12", "table3", "headline",
 	"ablation-end", "ablation-gamma", "ablation-reward", "ext-graph",
-	"ext-service",
+	"ext-service", "ext-batching",
 }
 
 func main() {
@@ -135,6 +135,8 @@ func run(lab *experiments.Lab, id string) (string, error) {
 		return lab.ExtGraph().Format(), nil
 	case "ext-service":
 		return lab.ExtService().Format(), nil
+	case "ext-batching":
+		return lab.ExtBatching().Format(), nil
 	default:
 		return "", fmt.Errorf("unknown experiment %q (use -list)", id)
 	}

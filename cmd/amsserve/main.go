@@ -21,6 +21,14 @@
 // the pool under the shared accountant, matching sim.RunParallel
 // semantics.
 //
+// -batch enables cross-item dynamic batching: same-model demand from
+// the whole pool coalesces into batched executions (sub-linear GPU
+// cost, one footprint reservation per batch instead of one per item),
+// raising throughput on hot-model memory-bound traces without changing
+// any schedule or recall. -batch-hold bounds how long a lone request
+// waits for batch-mates; -pred-cache shares one Q-prediction cache
+// across all workers and items.
+//
 // Ingestion can be made durable with -journal: every admitted external
 // item, each memoized model output, and each completed schedule is
 // appended to a write-ahead journal, committed items are evicted from
@@ -63,6 +71,9 @@ func main() {
 		queueCap   = flag.Int("queue", 0, "admission queue bound (0 = 2*workers)")
 		timescale  = flag.Float64("timescale", 0.05, "real seconds per simulated second of model time")
 		policyName = flag.String("policy", "algorithm1", "scheduling policy: algorithm1, algorithm2 (needs -memory; per-item parallel), qgreedy, random")
+		batchSize  = flag.Int("batch", 0, "cross-item batching: coalesce up to this many same-model requests per execution (0 = off, 1 = batching machinery without coalescing)")
+		batchHold  = flag.Float64("batch-hold", 0, "max simulated ms a lone request waits for batch-mates (0 = server default)")
+		predCache  = flag.Bool("pred-cache", false, "share one bounded Q-prediction cache across all workers and items")
 
 		rate     = flag.Int("rate", 4, "mean arrivals per simulated second (Poisson)")
 		items    = flag.Int("items", 200, "arrival trace length")
@@ -105,12 +116,15 @@ func main() {
 		log.Fatalf("amsserve: %v", err)
 	}
 	cfg := ams.ServeConfig{
-		Workers:     *workers,
-		Policy:      policy.WithSeed(*seed),
-		DeadlineSec: *deadline,
-		MemoryGB:    *memory,
-		QueueCap:    *queueCap,
-		TimeScale:   *timescale,
+		Workers:        *workers,
+		Policy:         policy.WithSeed(*seed),
+		DeadlineSec:    *deadline,
+		MemoryGB:       *memory,
+		QueueCap:       *queueCap,
+		TimeScale:      *timescale,
+		BatchSize:      *batchSize,
+		BatchHoldMS:    *batchHold,
+		PredictorCache: *predCache,
 	}
 	trace := ams.ServeTrace{ArrivalRateHz: float64(*rate), Items: *items, Seed: *seed}
 
@@ -169,6 +183,16 @@ func main() {
 	if real.PeakMemMB > 0 {
 		fmt.Printf("  %-18s %8.0f MB (budget %.0f MB, %d blocked reservations)\n",
 			"peak GPU memory", real.PeakMemMB, *memory*1024, real.MemWaits)
+	}
+	if real.BatchedRequests > 0 {
+		fmt.Printf("  %-18s %8d requests in %d batches (largest %d)\n",
+			"batching", real.BatchedRequests, real.Batches, real.LargestBatch)
+		fmt.Printf("  %-18s %8.0f GPU-ms, %.0f MB of reservations\n",
+			"coalesced away", real.BatchSavedGPUMS, real.BatchSavedMemMB)
+	}
+	if hm := real.PredCacheHits + real.PredCacheMisses; hm > 0 {
+		fmt.Printf("  %-18s %8.1f %% hits (%d lookups, %d states cached)\n",
+			"predictor cache", 100*float64(real.PredCacheHits)/float64(hm), hm, real.PredCacheEntries)
 	}
 	if corpus != nil {
 		printCorpus(corpus)

@@ -264,9 +264,9 @@ func TestLabelCancelledMidScheduleReturnsPartial(t *testing.T) {
 	defer cancel()
 	const before = 2 // cancel fires while handing out the 3rd selection
 	probe := Policy{name: "cancel-probe", needsAgent: true,
-		build: func(s *System, agent *Agent, _ uint64) sim.Policy {
+		build: func(s *System, agent *Agent, _ uint64, _ *sched.SharedCache) sim.Policy {
 			return &cancelAfter{
-				Policy: sched.NewQGreedy(agent.clonePredictor(), s.Zoo),
+				Policy: sched.NewQGreedy(agent.clonePredictor(nil), s.Zoo),
 				n:      before,
 				cancel: cancel,
 			}

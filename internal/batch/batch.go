@@ -1,0 +1,233 @@
+// Package batch implements cross-item dynamic batching for the serving
+// layer: the raw-speed lever of real GPU serving that the paper's
+// one-item-at-a-time formulation never had. Each model gets a lane;
+// workers enqueue their items' pending requests for a model into its
+// lane, and the batcher coalesces the lane's demand into one batched
+// execution whose simulated cost is sub-linear in the batch size
+// (zoo.Model.BatchCostMS: a fixed launch overhead plus a small per-item
+// marginal).
+//
+// The flush policy bounds how long a lone request can wait for
+// batch-mates: a lane seals its batch when it reaches Config.MaxBatch
+// requests, or when the oldest request has waited Config.MaxHoldMS on
+// the simulated clock, whichever comes first — so a cold model's single
+// request is delayed by at most the hold, never starved.
+//
+// Memory coalescing is where batching buys the server throughput under a
+// GPU budget: a model's weights are resident once no matter how many
+// items its batch serves, so a sealed batch whose requests own their
+// footprint reserves the model's MemMB once — not once per request —
+// against the shared accountant. On memory-bound traces that collapses
+// n identical reservations into one, which is exactly what lets more
+// items make progress at the same worker count and budget. With
+// MaxBatch = 1 every batch holds one request and the runtime reproduces
+// the unbatched reserve → sleep → release sequence exactly.
+package batch
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ams/internal/vtime"
+	"ams/internal/zoo"
+)
+
+// Memory is the reservation contract the batcher drives — implemented by
+// the server's shared accountant. Reserve blocks until the footprint
+// fits the budget and returns false only when it never could (the
+// footprint exceeds the whole budget). A nil Memory disables
+// reservations (no budget configured).
+type Memory interface {
+	Reserve(mb float64) bool
+	Release(mb float64)
+}
+
+// Config parameterizes the coalescing runtime.
+type Config struct {
+	// MaxBatch seals a lane's batch at this many requests (>= 1). One
+	// means every request executes alone — the unbatched cost model
+	// through the batching machinery.
+	MaxBatch int
+	// MaxHoldMS bounds, on the simulated clock, how long a lane holds
+	// its oldest request waiting for batch-mates before flushing. Zero
+	// flushes immediately: batches form only at MaxBatch.
+	MaxHoldMS float64
+	// TimeScale converts simulated milliseconds to real ones (the
+	// server's Config.TimeScale).
+	TimeScale float64
+}
+
+// Stats counts the runtime's activity. SavedGPUMS is the simulated GPU
+// time batching avoided versus unbatched execution — for a batch of n,
+// n*TimeMS - BatchCostMS(n) = (n-1)*BatchLaunchMS. SavedMemMB sums the
+// footprint reservations coalesced away: (k-1)*MemMB for a batch with k
+// footprint-owning requests.
+type Stats struct {
+	Batches      int64
+	Requests     int64
+	LargestBatch int
+	SizeFlushes  int64 // batches sealed by reaching MaxBatch
+	HoldFlushes  int64 // batches sealed by the hold timer (or zero hold)
+	SavedGPUMS   float64
+	SavedMemMB   float64
+}
+
+// request is one item's pending demand for a model.
+type request struct {
+	done  chan struct{}
+	owned bool // the batch reserves/releases the model footprint for it
+}
+
+// lane collects one model's pending requests until a flush seals them.
+type lane struct {
+	mu     sync.Mutex
+	gen    uint64 // bumped at each seal; stale hold timers check it
+	reqs   []request
+	queued atomic.Int64 // lock-free mirror of len(reqs) for Queued
+}
+
+// Batcher is the coalescing runtime. Create one with New; it shares the
+// server's timer wheel and stops with it (no goroutines of its own
+// outside running batches).
+type Batcher struct {
+	models []*zoo.Model
+	cfg    Config
+	mem    Memory
+	wheel  *vtime.Wheel
+	lanes  []lane
+
+	statMu sync.Mutex
+	stats  Stats
+}
+
+// New builds a batcher over the model registry. Configuration errors are
+// panics: the batcher is internal machinery and the server validates its
+// user-facing knobs before building one.
+func New(models []*zoo.Model, mem Memory, wheel *vtime.Wheel, cfg Config) *Batcher {
+	if cfg.MaxBatch < 1 {
+		panic(fmt.Sprintf("batch: max batch %d < 1", cfg.MaxBatch))
+	}
+	if cfg.MaxHoldMS < 0 {
+		panic(fmt.Sprintf("batch: negative hold %v ms", cfg.MaxHoldMS))
+	}
+	if cfg.TimeScale <= 0 {
+		panic(fmt.Sprintf("batch: non-positive time scale %v", cfg.TimeScale))
+	}
+	if wheel == nil {
+		panic("batch: nil timer wheel")
+	}
+	return &Batcher{models: models, cfg: cfg, mem: mem, wheel: wheel, lanes: make([]lane, len(models))}
+}
+
+// Enqueue registers one request for model m and returns immediately;
+// done is closed when the batched execution containing the request
+// completes. owned asks the batch to hold the model's footprint against
+// the Memory on the request's behalf (the serial path); a non-owned
+// request's caller keeps its own reservation (the parallel path, whose
+// coordinator releases at commit) and the batch only shares the
+// execution.
+func (b *Batcher) Enqueue(m int, owned bool, done chan struct{}) {
+	ln := &b.lanes[m]
+	ln.mu.Lock()
+	ln.reqs = append(ln.reqs, request{done: done, owned: owned})
+	ln.queued.Add(1)
+	switch {
+	case len(ln.reqs) >= b.cfg.MaxBatch:
+		b.seal(m, ln, true)
+	case b.cfg.MaxHoldMS <= 0:
+		b.seal(m, ln, false)
+	case len(ln.reqs) == 1:
+		// First request of a fresh batch: arm the lane's hold timer. The
+		// generation check makes a timer that lost the race to a size
+		// flush (or to a later batch entirely) a no-op.
+		gen := ln.gen
+		b.wheel.AfterFunc(b.scaled(b.cfg.MaxHoldMS), func() {
+			ln.mu.Lock()
+			if ln.gen == gen && len(ln.reqs) > 0 {
+				b.seal(m, ln, false)
+			}
+			ln.mu.Unlock()
+		})
+	}
+	ln.mu.Unlock()
+}
+
+// Queued reports how many requests are waiting, unsealed, in model m's
+// lane right now. This is the batching demand surfaced to policies
+// through sim.Constraints: a model with waiters is effectively cheaper
+// to join. Sealed (already running) batches no longer count — a new
+// request would start a fresh batch.
+func (b *Batcher) Queued(m int) int {
+	return int(b.lanes[m].queued.Load())
+}
+
+// Stats returns a snapshot of the runtime's counters.
+func (b *Batcher) Stats() Stats {
+	b.statMu.Lock()
+	defer b.statMu.Unlock()
+	return b.stats
+}
+
+// seal detaches the lane's waiting requests as one batch and runs it in
+// its own goroutine. Called with the lane locked; the caller unlocks.
+func (b *Batcher) seal(m int, ln *lane, sizeFlush bool) {
+	reqs := ln.reqs
+	ln.reqs = nil
+	ln.gen++
+	ln.queued.Add(int64(-len(reqs)))
+	go b.run(m, reqs, sizeFlush)
+}
+
+// run executes one sealed batch: reserve the model's footprint once if
+// any request owns it, sleep the sub-linear batched cost on the wheel,
+// release, and wake every member.
+func (b *Batcher) run(m int, reqs []request, sizeFlush bool) {
+	mod := b.models[m]
+	n := len(reqs)
+	ownedReqs := 0
+	for _, r := range reqs {
+		if r.owned {
+			ownedReqs++
+		}
+	}
+	reservedMB := 0.0
+	if b.mem != nil && ownedReqs > 0 {
+		reservedMB = mod.MemMB
+		if !b.mem.Reserve(reservedMB) {
+			// Unreachable through the server: policies only select models
+			// that fit the observed availability, which never exceeds the
+			// budget. Kept as a contract assertion, like the accountant's.
+			panic(fmt.Sprintf("batch: model %d footprint %v MB exceeds the whole memory budget", m, mod.MemMB))
+		}
+	}
+	b.wheel.Sleep(b.scaled(mod.BatchCostMS(n)))
+	if reservedMB > 0 {
+		b.mem.Release(reservedMB)
+	}
+	for _, r := range reqs {
+		close(r.done)
+	}
+	b.statMu.Lock()
+	b.stats.Batches++
+	b.stats.Requests += int64(n)
+	if n > b.stats.LargestBatch {
+		b.stats.LargestBatch = n
+	}
+	if sizeFlush {
+		b.stats.SizeFlushes++
+	} else {
+		b.stats.HoldFlushes++
+	}
+	b.stats.SavedGPUMS += float64(n)*mod.TimeMS - mod.BatchCostMS(n)
+	if reservedMB > 0 && ownedReqs > 1 {
+		b.stats.SavedMemMB += float64(ownedReqs-1) * mod.MemMB
+	}
+	b.statMu.Unlock()
+}
+
+// scaled converts simulated milliseconds to a real duration.
+func (b *Batcher) scaled(ms float64) time.Duration {
+	return time.Duration(ms * b.cfg.TimeScale * float64(time.Millisecond))
+}

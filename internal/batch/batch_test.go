@@ -1,0 +1,181 @@
+package batch
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"ams/internal/vtime"
+	"ams/internal/zoo"
+)
+
+// testModels is a two-model registry with a controlled cost split:
+// TimeMS 100 = 70 launch + 30 marginal, footprint 1000 MB.
+func testModels() []*zoo.Model {
+	return []*zoo.Model{
+		{ID: 0, TimeMS: 100, MemMB: 1000, BatchLaunchMS: 70, BatchMarginalMS: 30},
+		{ID: 1, TimeMS: 50, MemMB: 500, BatchLaunchMS: 35, BatchMarginalMS: 15},
+	}
+}
+
+// recMem records reservation traffic.
+type recMem struct {
+	mu     sync.Mutex
+	events []float64 // +mb on reserve, -mb on release
+}
+
+func (r *recMem) Reserve(mb float64) bool {
+	r.mu.Lock()
+	r.events = append(r.events, mb)
+	r.mu.Unlock()
+	return true
+}
+
+func (r *recMem) Release(mb float64) {
+	r.mu.Lock()
+	r.events = append(r.events, -mb)
+	r.mu.Unlock()
+}
+
+func (r *recMem) trace() []float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]float64(nil), r.events...)
+}
+
+func newBatcher(t *testing.T, mem Memory, cfg Config) (*Batcher, *vtime.Wheel) {
+	t.Helper()
+	w := vtime.NewWheel()
+	t.Cleanup(w.Stop)
+	return New(testModels(), mem, w, cfg), w
+}
+
+func TestSizeFlushCoalescesDemand(t *testing.T) {
+	mem := &recMem{}
+	b, _ := newBatcher(t, mem, Config{MaxBatch: 3, MaxHoldMS: 1e6, TimeScale: 0.01})
+	dones := make([]chan struct{}, 3)
+	for i := range dones {
+		dones[i] = make(chan struct{})
+		b.Enqueue(0, true, dones[i])
+	}
+	for _, d := range dones {
+		<-d // the size flush must fire well before the enormous hold
+	}
+	st := b.Stats()
+	if st.Batches != 1 || st.Requests != 3 || st.SizeFlushes != 1 || st.LargestBatch != 3 {
+		t.Fatalf("stats %+v, want one size-flushed batch of 3", st)
+	}
+	// Saved GPU time: 3*100 - (70 + 3*30) = 140 = (n-1)*launch.
+	if st.SavedGPUMS != 140 {
+		t.Fatalf("saved %v GPU-ms, want 140", st.SavedGPUMS)
+	}
+	// Memory coalescing: three owned requests, ONE reservation.
+	want := []float64{1000, -1000}
+	got := mem.trace()
+	if len(got) != len(want) || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("reservation trace %v, want %v", got, want)
+	}
+	if st.SavedMemMB != 2000 {
+		t.Fatalf("saved %v MB of reservations, want 2000", st.SavedMemMB)
+	}
+}
+
+func TestHoldFlushNeverStarvesALoneRequest(t *testing.T) {
+	b, _ := newBatcher(t, nil, Config{MaxBatch: 8, MaxHoldMS: 5, TimeScale: 0.01})
+	done := make(chan struct{})
+	b.Enqueue(1, false, done)
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("lone request starved waiting for batch-mates")
+	}
+	st := b.Stats()
+	if st.Batches != 1 || st.HoldFlushes != 1 || st.LargestBatch != 1 {
+		t.Fatalf("stats %+v, want one hold-flushed batch of 1", st)
+	}
+	if st.SavedGPUMS != 0 {
+		t.Fatalf("a batch of one saved %v GPU-ms, want 0", st.SavedGPUMS)
+	}
+}
+
+// TestBatchOfOneMatchesUnbatchedSequence pins the MaxBatch=1 parity
+// contract: one reserve of the full footprint, a sleep of exactly the
+// nominal TimeMS (BatchCostMS(1) == TimeMS), one release.
+func TestBatchOfOneMatchesUnbatchedSequence(t *testing.T) {
+	mem := &recMem{}
+	b, _ := newBatcher(t, mem, Config{MaxBatch: 1, MaxHoldMS: 10, TimeScale: 0.1})
+	start := time.Now()
+	done := make(chan struct{})
+	b.Enqueue(0, true, done)
+	<-done
+	// 100 simulated ms at TimeScale 0.1 = 10 ms real.
+	if elapsed := time.Since(start); elapsed < 10*time.Millisecond {
+		t.Fatalf("batch of one slept %v, want >= the full nominal 10ms", elapsed)
+	}
+	got := mem.trace()
+	if len(got) != 2 || got[0] != 1000 || got[1] != -1000 {
+		t.Fatalf("reservation trace %v, want [1000 -1000]", got)
+	}
+	st := b.Stats()
+	if st.SizeFlushes != 1 {
+		t.Fatalf("stats %+v: a MaxBatch=1 enqueue must seal by size immediately", st)
+	}
+}
+
+func TestQueuedTracksUnsealedDemand(t *testing.T) {
+	b, _ := newBatcher(t, nil, Config{MaxBatch: 2, MaxHoldMS: 1e6, TimeScale: 0.01})
+	if b.Queued(0) != 0 {
+		t.Fatalf("fresh lane queued %d", b.Queued(0))
+	}
+	d1, d2 := make(chan struct{}), make(chan struct{})
+	b.Enqueue(0, false, d1)
+	if b.Queued(0) != 1 {
+		t.Fatalf("queued %d after one enqueue, want 1", b.Queued(0))
+	}
+	if b.Queued(1) != 0 {
+		t.Fatalf("lane 1 queued %d, want 0 (demand is per model)", b.Queued(1))
+	}
+	b.Enqueue(0, false, d2) // second request seals the batch synchronously
+	if b.Queued(0) != 0 {
+		t.Fatalf("queued %d after seal, want 0 (running batches are not joinable)", b.Queued(0))
+	}
+	<-d1
+	<-d2
+}
+
+// TestConcurrentEnqueues hammers two lanes from many goroutines (run
+// with -race): every request completes and the counters balance.
+func TestConcurrentEnqueues(t *testing.T) {
+	mem := &recMem{}
+	b, _ := newBatcher(t, mem, Config{MaxBatch: 4, MaxHoldMS: 2, TimeScale: 0.001})
+	const n = 200
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			done := make(chan struct{})
+			b.Enqueue(i%2, i%3 == 0, done)
+			<-done
+		}(i)
+	}
+	wg.Wait()
+	st := b.Stats()
+	if st.Requests != n {
+		t.Fatalf("%d requests recorded, want %d", st.Requests, n)
+	}
+	if st.Batches == 0 || st.Batches > n {
+		t.Fatalf("implausible batch count %d", st.Batches)
+	}
+	if b.Queued(0) != 0 || b.Queued(1) != 0 {
+		t.Fatalf("demand left after drain: %d/%d", b.Queued(0), b.Queued(1))
+	}
+	// Reservation traffic must balance to zero.
+	var sum float64
+	for _, e := range mem.trace() {
+		sum += e
+	}
+	if sum != 0 {
+		t.Fatalf("unbalanced reservations: %v MB leaked", sum)
+	}
+}

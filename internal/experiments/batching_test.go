@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestExtBatching pins the extension's headline claims on the micro
+// lab: execution-layer batching raises throughput on the memory-bound
+// hot-model trace without moving recall (schedules are charged nominal
+// time either way), and the batch-aware policy variant coalesces at
+// least as aggressively as the unaware one.
+func TestExtBatching(t *testing.T) {
+	if testing.Short() {
+		t.Skip("serves three real concurrent traces")
+	}
+	l := newMicroLab(t)
+	r := l.ExtBatching()
+	if len(r.Modes) != 3 || len(r.ThroughputHz) != 3 || len(r.Recall) != 3 {
+		t.Fatalf("shape: %d modes, %d throughputs, %d recalls",
+			len(r.Modes), len(r.ThroughputHz), len(r.Recall))
+	}
+	unb, bat, aware := 0, 1, 2
+	if r.ThroughputHz[bat] <= r.ThroughputHz[unb] {
+		t.Fatalf("batching did not raise throughput: %v vs %v /s",
+			r.ThroughputHz[bat], r.ThroughputHz[unb])
+	}
+	// Nominal-time accounting: batching must not change scheduling
+	// quality. Individual schedules may differ (policies see live
+	// memory availability), so recall is equal in aggregate, not bitwise.
+	if d := math.Abs(r.Recall[bat] - r.Recall[unb]); d > 0.05 {
+		t.Fatalf("batching moved recall by %v (%v vs %v)", d, r.Recall[bat], r.Recall[unb])
+	}
+	if r.AvgBatch[unb] != 1 {
+		t.Fatalf("unbatched mode reports avg batch %v", r.AvgBatch[unb])
+	}
+	if r.AvgBatch[bat] <= 1 || r.SavedGPUMS[bat] <= 0 {
+		t.Fatalf("no coalescing happened: avg batch %v, saved %v GPU-ms",
+			r.AvgBatch[bat], r.SavedGPUMS[bat])
+	}
+	if r.AvgBatch[aware] <= 1 || r.SavedGPUMS[aware] <= 0 {
+		t.Fatalf("batch-aware mode never coalesced: avg batch %v, saved %v GPU-ms",
+			r.AvgBatch[aware], r.SavedGPUMS[aware])
+	}
+	out := r.Format()
+	for _, want := range []string{"cross-item dynamic batching", "unbatched", "batched+aware", "throughput/s"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Format missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -80,3 +80,90 @@ func TestPoliciesInvalidateCacheOnReset(t *testing.T) {
 		t.Fatalf("Reset did not invalidate the memo: %d calls, want 2", raw.calls)
 	}
 }
+
+// echoPredictor returns a vector derived from the state's contents (not
+// just its length), so colliding cache keys surface as wrong values.
+type echoPredictor struct{ calls int }
+
+func (p *echoPredictor) Predict(state []int) []float64 {
+	p.calls++
+	var sum float64
+	for _, id := range state {
+		sum += float64(id)
+	}
+	return []float64{sum}
+}
+
+// TestCacheKeysDistinguishHighLabelIDs is the regression test for the
+// key encoding: the old fixed two-byte encoding truncated label IDs to
+// 16 bits, so the states {65536} and {0} collided and the second ask
+// silently returned the first state's Q-values.
+func TestCacheKeysDistinguishHighLabelIDs(t *testing.T) {
+	raw := &echoPredictor{}
+	c := NewCachedPredictor(raw)
+	high := c.Predict([]int{65536})
+	low := c.Predict([]int{0})
+	if raw.calls != 2 {
+		t.Fatalf("states {65536} and {0} shared a cache key: %d forward passes, want 2", raw.calls)
+	}
+	if high[0] != 65536 || low[0] != 0 {
+		t.Fatalf("colliding keys served wrong Q-values: got %v and %v", high[0], low[0])
+	}
+	// Multi-ID states stay unambiguous too (uvarints are self-delimiting;
+	// echoPredictor sums IDs, so compare forward-pass counts, not values).
+	c.Predict([]int{1, 65537})
+	c.Predict([]int{65538})
+	if raw.calls != 4 {
+		t.Fatalf("a multi-ID state collided with a single-ID state: %d forward passes, want 4", raw.calls)
+	}
+}
+
+// TestSharedCacheSpansPredictors: a state computed by one worker's
+// predictor is a hit for every other predictor wired to the same shared
+// cache — the cross-item, cross-worker promotion of the memo.
+func TestSharedCacheSpansPredictors(t *testing.T) {
+	shared := NewSharedCache(0)
+	raw1, raw2 := &countingPredictor{}, &countingPredictor{}
+	c1 := NewSharedCachedPredictor(raw1, shared)
+	c2 := NewSharedCachedPredictor(raw2, shared)
+
+	state := []int{2, 7}
+	c1.Predict(state)
+	if got := c2.Predict(state); got[0] != float64(2*10) {
+		t.Fatalf("shared hit returned %v", got[0])
+	}
+	if raw2.calls != 0 {
+		t.Fatalf("second predictor ran %d forward passes for a shared state, want 0", raw2.calls)
+	}
+	// Private invalidation (per-item Reset) must not drop the shared tier.
+	c2.Invalidate()
+	c2.Predict(state)
+	if raw2.calls != 0 {
+		t.Fatalf("per-item Invalidate dropped the shared tier: %d forward passes", raw2.calls)
+	}
+	hits, misses, size := shared.Stats()
+	if hits < 2 || misses != 1 || size != 1 {
+		t.Fatalf("shared cache stats hits=%d misses=%d size=%d, want >=2/1/1", hits, misses, size)
+	}
+	// Retraining invalidation empties the shared tier.
+	shared.Invalidate()
+	c1.Invalidate()
+	c1.Predict(state)
+	if raw1.calls != 2 {
+		t.Fatalf("SharedCache.Invalidate left stale entries: %d forward passes, want 2", raw1.calls)
+	}
+}
+
+// TestSharedCacheBounded: the capacity is a hard bound, enforced by
+// evicting an arbitrary resident entry per insert.
+func TestSharedCacheBounded(t *testing.T) {
+	shared := NewSharedCache(4)
+	raw := &countingPredictor{}
+	c := NewSharedCachedPredictor(raw, shared)
+	for i := 0; i < 20; i++ {
+		c.Predict([]int{i})
+	}
+	if _, _, size := shared.Stats(); size > 4 {
+		t.Fatalf("shared cache grew to %d entries, capacity 4", size)
+	}
+}

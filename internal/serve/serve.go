@@ -35,11 +35,27 @@
 // and New rejects configurations that could never make progress (no
 // workers, a memory budget below the smallest model).
 //
+// With Config.BatchSize the server coalesces demand across items:
+// workers hand their executions to a cross-item batching runtime
+// (internal/batch) that collects same-model requests from the whole
+// pool into one batched execution with sub-linear cost, reserving the
+// model's footprint once per batch instead of once per request — the
+// memory coalescing that buys throughput on hot-model, memory-bound
+// traces. Policies see the live batching demand through
+// sim.Constraints.BatchQueued; the built-in ones only act on it when
+// explicitly made batch-aware (sched's SetBatchAware), so by default
+// batching is pure execution-layer mechanics. Deadline accounting stays
+// nominal (a batched execution still charges the item TimeMS), so
+// schedules — and recall — are unchanged by batching; with BatchSize 1
+// the runtime reproduces the unbatched reserve → sleep → release
+// sequence exactly.
+//
 // Model execution is simulated by sleeping the model's nominal duration
 // scaled by Config.TimeScale, so tests and benchmarks can run the real
 // concurrent machinery thousands of times faster than production pacing
 // while keeping every scheduling decision, reservation, and statistic
-// identical. All reported statistics are on the simulated clock
+// identical. All sleeps share one timer wheel (internal/vtime) instead
+// of parking a goroutine per execution in the runtime timer heap. All reported statistics are on the simulated clock
 // (wall-clock divided by TimeScale), making them directly comparable to
 // the virtual-time sim's output — both reduce through service.Summarize.
 // One caveat: the scheduler's real CPU work (the agent's Q-network
@@ -57,9 +73,11 @@ import (
 	"sync"
 	"time"
 
+	"ams/internal/batch"
 	"ams/internal/oracle"
 	"ams/internal/service"
 	"ams/internal/sim"
+	"ams/internal/vtime"
 	"ams/internal/zoo"
 )
 
@@ -95,6 +113,20 @@ type Config struct {
 	// in nominal-finish order. Requires a memory budget, which is what
 	// bounds the per-item parallelism.
 	ItemParallel bool
+
+	// BatchSize, when positive, turns on cross-item batching: same-model
+	// demand from the whole worker pool is coalesced into batched
+	// executions of at most BatchSize requests (see internal/batch).
+	// Zero disables batching; one runs every request through the
+	// batching machinery alone, reproducing the unbatched execution
+	// sequence exactly.
+	BatchSize int
+
+	// BatchHoldMS bounds, on the simulated clock, how long a lone
+	// request waits in its model's lane for batch-mates before its batch
+	// flushes anyway. Zero defaults to defaultBatchHoldMS when batching
+	// is on. Only meaningful with BatchSize > 1.
+	BatchHoldMS float64
 
 	// TimeScale is the real seconds slept per simulated second of model
 	// time (default 1.0, production pacing). Tests use small values to
@@ -132,6 +164,12 @@ type Corpus interface {
 
 // defaultStatsWindow bounds retained per-item records (~40 B each).
 const defaultStatsWindow = 1 << 16
+
+// defaultBatchHoldMS is the flush hold applied when batching is enabled
+// without an explicit Config.BatchHoldMS: long enough for concurrent
+// workers to pile demand into a hot model's lane, short next to any
+// realistic per-item deadline.
+const defaultBatchHoldMS = 10.0
 
 // ItemResult is the outcome of one labeled item. It is self-contained:
 // Outputs carries the executed models' results by value, captured before
@@ -176,7 +214,9 @@ type Server struct {
 	ex          oracle.Executor
 	cfg         Config
 	factory     service.PolicyFactory
-	acct        *accountant // nil when no memory budget is configured
+	acct        *accountant    // nil when no memory budget is configured
+	wheel       *vtime.Wheel   // all simulated executions sleep on it
+	batcher     *batch.Batcher // nil when batching is not configured
 	queue       chan *Ticket
 	stop        chan struct{} // closed by Close to wake blocked SubmitWait senders
 	workersDone chan struct{} // closed by Close after the pool drains
@@ -253,15 +293,40 @@ func New(ex oracle.Executor, factory service.PolicyFactory, cfg Config) (*Server
 		}
 		acct = newAccountant(cfg.MemoryBudgetMB)
 	}
+	if cfg.BatchSize < 0 {
+		return nil, fmt.Errorf("serve: negative batch size %d", cfg.BatchSize)
+	}
+	if cfg.BatchHoldMS < 0 {
+		return nil, fmt.Errorf("serve: negative batch hold %v ms", cfg.BatchHoldMS)
+	}
+	if cfg.BatchSize > 0 && cfg.BatchHoldMS == 0 {
+		cfg.BatchHoldMS = defaultBatchHoldMS
+	}
 	s := &Server{
 		ex:          ex,
 		cfg:         cfg,
 		factory:     factory,
 		acct:        acct,
+		wheel:       vtime.NewWheel(),
 		queue:       make(chan *Ticket, cfg.QueueCap),
 		stop:        make(chan struct{}),
 		workersDone: make(chan struct{}),
 		start:       time.Now(),
+	}
+	if cfg.BatchSize > 0 {
+		models := make([]*zoo.Model, ex.NumModels())
+		for m := range models {
+			models[m] = ex.Model(m)
+		}
+		var mem batch.Memory
+		if acct != nil {
+			mem = acctMemory{acct}
+		}
+		s.batcher = batch.New(models, mem, s.wheel, batch.Config{
+			MaxBatch:  cfg.BatchSize,
+			MaxHoldMS: cfg.BatchHoldMS,
+			TimeScale: cfg.TimeScale,
+		})
 	}
 	for w := 0; w < cfg.Workers; w++ {
 		s.wg.Add(1)
@@ -366,6 +431,9 @@ func (s *Server) Close() error {
 	s.senders.Wait() // after which no send can touch the queue
 	close(s.queue)   // let workers drain and exit
 	s.wg.Wait()
+	// The pool has drained: no execution sleeps or hold timers can be
+	// armed anymore, so the wheel's dispatcher can go.
+	s.wheel.Stop()
 	close(s.workersDone) // tell the results pump to flush and finish
 	return nil
 }
@@ -445,14 +513,26 @@ func (s *Server) worker(w int) {
 	}
 }
 
+// acctMemory adapts the shared accountant to the batch.Memory contract
+// so sealed batches can hold one footprint reservation per batch.
+type acctMemory struct{ a *accountant }
+
+func (m acctMemory) Reserve(mb float64) bool { return m.a.reserve(mb) }
+func (m acctMemory) Release(mb float64)      { m.a.release(mb) }
+
 // constraints snapshots the limits for one selection: the item's
-// remaining schedule time and the accountant's live availability.
+// remaining schedule time, the accountant's live availability, and —
+// when batching is on — the live cross-item demand per model lane.
 func (s *Server) constraints(remainingMS float64) sim.Constraints {
 	avail := math.Inf(1)
 	if s.acct != nil {
 		avail = s.acct.available()
 	}
-	return sim.Constraints{RemainingMS: remainingMS, AvailMemMB: avail}
+	c := sim.Constraints{RemainingMS: remainingMS, AvailMemMB: avail}
+	if s.batcher != nil {
+		c.BatchQueued = s.batcher.Queued
+	}
+	return c
 }
 
 // memStalled reports whether the policy's decline may be transient
@@ -530,16 +610,7 @@ func (s *Server) process(policy sim.Policy, tk *Ticket) {
 		}
 		mod := s.ex.Model(m)
 		checkSelection(policy, m, mod, c)
-		if s.acct != nil {
-			// Another worker may have claimed the observed headroom in
-			// the meantime; reserve blocks until the footprint fits
-			// again (it does fit the whole budget, so it always will).
-			s.acct.reserve(mod.MemMB)
-		}
-		sleepFor(mod.TimeMS * s.cfg.TimeScale)
-		if s.acct != nil {
-			s.acct.release(mod.MemMB)
-		}
+		s.executeSerial(policy, m, mod)
 		tr.Execute(m)
 		out := s.ex.Output(tk.image, m)
 		policy.Observe(m, out)
@@ -551,11 +622,75 @@ func (s *Server) process(policy sim.Policy, tk *Ticket) {
 	s.finish(tk, startWall, executed, outputs, schedMS, selectSec, tr.Recall(), tr.HasTruth())
 }
 
+// executeSerial runs one model for a serially scheduled item: through
+// the batching runtime when batching is on (the batch owns the item's
+// footprint reservation — that is the coalescing), directly on the
+// timer wheel otherwise.
+func (s *Server) executeSerial(policy sim.Policy, m int, mod *zoo.Model) {
+	if s.batcher != nil {
+		done := make(chan struct{})
+		s.batcher.Enqueue(m, s.acct != nil, done)
+		<-done
+		return
+	}
+	if s.acct != nil {
+		// Another worker may have claimed the observed headroom in the
+		// meantime; reserve blocks until the footprint fits again.
+		s.mustReserve(policy, m, mod)
+	}
+	s.wheel.Sleep(s.scaled(mod.TimeMS))
+	if s.acct != nil {
+		s.acct.release(mod.MemMB)
+	}
+}
+
+// mustReserve claims a model's footprint, panicking when the accountant
+// reports it could never fit the whole budget. A selection that passed
+// checkSelection always fits (the observed availability never exceeds
+// the budget), so a false return here means the policy's selection and
+// the constraints it was handed disagree — a contract violation, not a
+// transient stall, and silently ignoring it would let the execution
+// proceed without any reservation at all.
+func (s *Server) mustReserve(policy sim.Policy, m int, mod *zoo.Model) {
+	if !s.acct.reserve(mod.MemMB) {
+		panic(fmt.Sprintf("serve: policy %s selected model %d whose footprint (%v MB) exceeds the whole memory budget (%v MB)",
+			policy.Name(), m, mod.MemMB, s.cfg.MemoryBudgetMB))
+	}
+}
+
+// scaled converts nominal model milliseconds to the real duration slept.
+func (s *Server) scaled(ms float64) time.Duration {
+	return time.Duration(ms * s.cfg.TimeScale * float64(time.Millisecond))
+}
+
 // parallelFlight is one in-flight model execution of a parallel item.
 type parallelFlight struct {
 	model    int
 	finishMS float64       // nominal finish on the item's schedule clock
 	done     chan struct{} // closed when the scaled sleep has elapsed
+}
+
+// flightHas reports whether model m is in the in-flight set.
+func flightHas(inFly []parallelFlight, m int) bool {
+	for _, f := range inFly {
+		if f.model == m {
+			return true
+		}
+	}
+	return false
+}
+
+// launch starts one parallel-mode execution: through the batching
+// runtime when batching is on — non-owned, because the coordinator
+// keeps the per-flight reservation until commit, exactly as the
+// virtual-time executor accounts memory; the batch only shares the
+// execution sleep — or as a plain timer on the wheel otherwise.
+func (s *Server) launch(m int, mod *zoo.Model, done chan struct{}) {
+	if s.batcher != nil {
+		s.batcher.Enqueue(m, false, done)
+		return
+	}
+	s.wheel.AfterFunc(s.scaled(mod.TimeMS), func() { close(done) })
 }
 
 // processParallel runs one item with sim.RunParallel's semantics under
@@ -602,6 +737,12 @@ func (s *Server) processParallel(policy sim.Policy, tk *Ticket) {
 			}
 			mod := s.ex.Model(m)
 			checkSelection(policy, m, mod, c)
+			// The double-launch contract of sim.RunParallel: an in-flight
+			// model's output is not visible yet, so a policy that returns
+			// it again is reading state it was told to track itself.
+			if tr.Executed(m) || flightHas(inFly, m) {
+				panic(fmt.Sprintf("serve: policy %s launched model %d twice", policy.Name(), m))
+			}
 			// This reserve can briefly block when another item claims
 			// the observed headroom first, while this coordinator holds
 			// its own in-flight reservations. That cannot deadlock: a
@@ -610,13 +751,10 @@ func (s *Server) processParallel(policy sim.Policy, tk *Ticket) {
 			// never blocked, always drains its commits (which need no
 			// reservation), and its releases wake the blocked one — a
 			// selection always fits the budget minus its own holdings.
-			s.acct.reserve(mod.MemMB)
+			s.mustReserve(policy, m, mod)
 			f := parallelFlight{model: m, finishMS: nowMS + mod.TimeMS, done: make(chan struct{})}
 			inFly = append(inFly, f)
-			go func(sleepMS float64, done chan struct{}) {
-				sleepFor(sleepMS * s.cfg.TimeScale)
-				close(done)
-			}(mod.TimeMS, f.done)
+			s.launch(m, mod, f.done)
 		}
 		if len(inFly) == 0 {
 			// Nothing running and nothing launchable. As in the serial
@@ -722,23 +860,16 @@ func (s *Server) finish(tk *Ticket, startWall time.Time, executed []int, outputs
 	close(tk.done)
 }
 
-// sleepFor sleeps ms milliseconds of real time (the scaled execution).
-func sleepFor(ms float64) {
-	if ms <= 0 {
-		return
-	}
-	time.Sleep(time.Duration(ms * float64(time.Millisecond)))
-}
-
 // RunStats extends the shared Stats with the server's concurrency
 // counters.
 type RunStats struct {
 	service.Stats
-	Completed      int64   // total completions (Stats.Items caps at StatsWindow)
-	PeakMemMB      float64 // maximum simultaneous reservation observed
-	MemWaits       int64   // reservations that blocked on the budget
-	Rejected       int64   // submits rejected with ErrQueueFull
-	ResultsDropped int64   // Results-stream entries shed behind a lagging consumer
+	Completed      int64       // total completions (Stats.Items caps at StatsWindow)
+	PeakMemMB      float64     // maximum simultaneous reservation observed
+	MemWaits       int64       // reservations that blocked on the budget
+	Rejected       int64       // submits rejected with ErrQueueFull
+	ResultsDropped int64       // Results-stream entries shed behind a lagging consumer
+	Batching       batch.Stats // zero when batching is not configured
 }
 
 // Stats summarizes the most recent StatsWindow completed items through
@@ -780,6 +911,9 @@ func (s *Server) Stats() RunStats {
 	if s.acct != nil {
 		rs.PeakMemMB = s.acct.peak()
 		rs.MemWaits = s.acct.waitCount()
+	}
+	if s.batcher != nil {
+		rs.Batching = s.batcher.Stats()
 	}
 	return rs
 }

@@ -77,6 +77,8 @@ func TestNewValidation(t *testing.T) {
 		{"negative budget", func(c *Config) { c.MemoryBudgetMB = -4 }, "memory budget"},
 		{"negative stats window", func(c *Config) { c.StatsWindow = -1 }, "stats window"},
 		{"exhausted budget", func(c *Config) { c.MemoryBudgetMB = 100 }, "smallest model"},
+		{"negative batch size", func(c *Config) { c.BatchSize = -2 }, "batch size"},
+		{"negative batch hold", func(c *Config) { c.BatchSize = 4; c.BatchHoldMS = -1 }, "batch hold"},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			cfg := base

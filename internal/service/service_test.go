@@ -124,3 +124,34 @@ func TestConfigValidation(t *testing.T) {
 		}()
 	}
 }
+
+// TestSummarizeP95NearestRank pins the percentile definition: the
+// nearest-rank P95 is the ceil(0.95n)-th smallest latency. The old
+// floor-of-(n-1) indexing sat one rank low on small samples — most
+// visibly at n=2, where it reported the minimum.
+func TestSummarizeP95NearestRank(t *testing.T) {
+	// records builds n completions with latencies 1..n seconds.
+	records := func(n int) []Record {
+		rs := make([]Record, n)
+		for i := range rs {
+			rs[i].FinishSec = float64(n - i) // unsorted on purpose
+		}
+		return rs
+	}
+	for _, tc := range []struct {
+		n    int
+		want float64
+	}{
+		{1, 1},      // ceil(0.95)  = rank 1
+		{2, 2},      // ceil(1.9)   = rank 2: the max, never the min
+		{20, 19},    // ceil(19)    = rank 19
+		{100, 95},   // ceil(95)    = rank 95
+		{101, 96},   // ceil(95.95) = rank 96
+		{1000, 950}, // ceil(950)  = rank 950
+	} {
+		got := Summarize(records(tc.n), 1).P95LatencySec
+		if got != tc.want {
+			t.Errorf("n=%d: P95 = %v s, want rank %v", tc.n, got, tc.want)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"math"
 	"sort"
 
 	"ams/internal/sim"
@@ -93,7 +94,12 @@ func Summarize(records []Record, workers int) Stats {
 	}
 	stats.AvgSelectSec /= n
 	sort.Float64s(latencies)
-	stats.P95LatencySec = latencies[int(0.95*float64(len(latencies)-1))]
+	// Nearest-rank P95: the smallest latency with at least 95% of the
+	// sample at or below it, ceil(0.95n) in rank (1-based). The previous
+	// floor-of-interpolated-index form sat a full rank low on small
+	// samples — at n=2 it reported the minimum as the "P95".
+	rank := int(math.Ceil(0.95 * float64(len(latencies))))
+	stats.P95LatencySec = latencies[rank-1]
 	if stats.HorizonSec > 0 {
 		stats.ThroughputHz = n / stats.HorizonSec
 		stats.Utilization = busy / (float64(workers) * stats.HorizonSec)

@@ -40,6 +40,26 @@ type Constraints struct {
 	// the current headroom is simply not selectable — the policy skips
 	// it and keeps scheduling the remaining feasible models.
 	AvailMemMB float64
+
+	// BatchQueued, when non-nil, exposes the execution layer's
+	// cross-item batching demand: BatchQueued(m) is how many requests
+	// from concurrently served items are waiting, unsealed, in model
+	// m's batch lane. Joining such a batch costs only the model's
+	// per-item marginal time on the GPU, so a policy may score the
+	// model as effectively cheaper (see Queued); feasibility is
+	// unchanged — the nominal TimeMS still bounds the schedule clock,
+	// which is what Allows checks. Nil means the execution layer does
+	// no batching (every simulator, and the server with batching off).
+	BatchQueued func(m int) int
+}
+
+// Queued returns the cross-item batching demand pending for model m,
+// zero when the execution layer does no batching.
+func (c Constraints) Queued(m int) int {
+	if c.BatchQueued == nil {
+		return 0
+	}
+	return c.BatchQueued(m)
 }
 
 // Unconstrained returns constraints with no limit in either dimension.

@@ -1,0 +1,162 @@
+// Package vtime provides the timer wheel that paces simulated model
+// executions in the serving layer. The real server sleeps each model's
+// nominal duration scaled by the configured TimeScale; before the wheel,
+// every in-flight execution parked its own goroutine in time.Sleep, so a
+// busy server held one OS timer per flight and paid a scheduler wake-up
+// for each. The wheel replaces that with one dispatcher goroutine over a
+// min-heap of deadlines: all pending expirations share a single timer
+// armed at the earliest deadline, and expirations that land on the same
+// instant are fired in one wake-up — which is what keeps small TimeScale
+// values (thousands of sub-millisecond sleeps per simulated second) from
+// drowning the runtime in timer churn.
+package vtime
+
+import (
+	"container/heap"
+	"sync"
+	"time"
+)
+
+// waiter is one pending expiration.
+type waiter struct {
+	at  time.Time
+	seq uint64 // insertion order; breaks same-instant ties deterministically
+	fn  func()
+}
+
+// waiterHeap orders waiters by deadline, then insertion order.
+type waiterHeap []*waiter
+
+func (h waiterHeap) Len() int { return len(h) }
+func (h waiterHeap) Less(i, j int) bool {
+	if !h[i].at.Equal(h[j].at) {
+		return h[i].at.Before(h[j].at)
+	}
+	return h[i].seq < h[j].seq
+}
+func (h waiterHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *waiterHeap) Push(x any)   { *h = append(*h, x.(*waiter)) }
+func (h *waiterHeap) Pop() any {
+	old := *h
+	n := len(old)
+	w := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return w
+}
+
+// Wheel is a shared timer: many concurrent sleepers, one dispatcher
+// goroutine, one armed OS timer. Create one with NewWheel and release its
+// dispatcher with Stop once every sleeper has returned.
+type Wheel struct {
+	mu      sync.Mutex
+	waiters waiterHeap
+	seq     uint64
+	wake    chan struct{} // capacity 1: "heap front may have changed"
+	stopped bool
+}
+
+// NewWheel starts a wheel and its dispatcher goroutine.
+func NewWheel() *Wheel {
+	w := &Wheel{wake: make(chan struct{}, 1)}
+	go w.dispatch()
+	return w
+}
+
+// AfterFunc schedules fn to run on the dispatcher goroutine once d has
+// elapsed; a non-positive d runs fn synchronously. Callbacks must be
+// short (close a channel, flip a flag under a lock) — a slow callback
+// delays every later expiration. There is no cancellation: callers that
+// may outlive their interest guard the callback body themselves (the
+// batch lanes do, with a generation counter). After Stop, pending and new
+// callbacks are dropped.
+func (w *Wheel) AfterFunc(d time.Duration, fn func()) {
+	if d <= 0 {
+		fn()
+		return
+	}
+	w.mu.Lock()
+	if w.stopped {
+		w.mu.Unlock()
+		return
+	}
+	heap.Push(&w.waiters, &waiter{at: time.Now().Add(d), seq: w.seq, fn: fn})
+	w.seq++
+	w.mu.Unlock()
+	select {
+	case w.wake <- struct{}{}:
+	default: // a wake-up is already pending
+	}
+}
+
+// Sleep blocks the caller for d. It must not be called after Stop (the
+// expiration would be dropped and the caller would block forever) — the
+// server guarantees that by stopping the wheel only after its worker
+// pool has drained.
+func (w *Wheel) Sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	done := make(chan struct{})
+	w.AfterFunc(d, func() { close(done) })
+	<-done
+}
+
+// Stop terminates the dispatcher and drops any pending expirations.
+func (w *Wheel) Stop() {
+	w.mu.Lock()
+	w.stopped = true
+	w.waiters = nil
+	w.mu.Unlock()
+	select {
+	case w.wake <- struct{}{}:
+	default:
+	}
+}
+
+// pending returns the number of waiting expirations (for tests).
+func (w *Wheel) pending() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.waiters)
+}
+
+// dispatch pops due expirations and sleeps until the next deadline,
+// re-armed whenever an earlier one is pushed. Callbacks run outside the
+// wheel lock, so they may re-enter AfterFunc (the batch lanes' hold
+// timers do).
+func (w *Wheel) dispatch() {
+	for {
+		w.mu.Lock()
+		if w.stopped {
+			w.mu.Unlock()
+			return
+		}
+		now := time.Now()
+		var due []func()
+		for len(w.waiters) > 0 && !w.waiters[0].at.After(now) {
+			due = append(due, heap.Pop(&w.waiters).(*waiter).fn)
+		}
+		wait := time.Duration(-1)
+		if len(w.waiters) > 0 {
+			wait = w.waiters[0].at.Sub(now)
+		}
+		w.mu.Unlock()
+		if len(due) > 0 {
+			for _, fn := range due {
+				fn()
+			}
+			continue // new expirations may already be due
+		}
+		if wait < 0 {
+			<-w.wake // idle: block until a waiter arrives or Stop
+			continue
+		}
+		t := time.NewTimer(wait)
+		select {
+		case <-t.C:
+		case <-w.wake:
+			t.Stop()
+		}
+	}
+}

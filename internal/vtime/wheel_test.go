@@ -1,0 +1,106 @@
+package vtime
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestSleepElapses(t *testing.T) {
+	w := NewWheel()
+	defer w.Stop()
+	start := time.Now()
+	w.Sleep(20 * time.Millisecond)
+	if elapsed := time.Since(start); elapsed < 20*time.Millisecond {
+		t.Fatalf("slept %v, want >= 20ms", elapsed)
+	}
+}
+
+func TestZeroSleepAndAfterFuncAreImmediate(t *testing.T) {
+	w := NewWheel()
+	defer w.Stop()
+	w.Sleep(0)
+	w.Sleep(-time.Second)
+	ran := false
+	w.AfterFunc(0, func() { ran = true }) // synchronous for d <= 0
+	if !ran {
+		t.Fatal("zero-delay AfterFunc did not run synchronously")
+	}
+}
+
+// TestManyConcurrentSleepers is the wheel's reason to exist: hundreds of
+// concurrent sleeps share one dispatcher, every one of them completes,
+// and none returns early.
+func TestManyConcurrentSleepers(t *testing.T) {
+	w := NewWheel()
+	defer w.Stop()
+	const n = 400
+	var wg sync.WaitGroup
+	var early atomic.Int64
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		d := time.Duration(1+i%25) * time.Millisecond
+		go func(d time.Duration) {
+			defer wg.Done()
+			w.Sleep(d)
+			if time.Since(start) < d {
+				early.Add(1)
+			}
+		}(d)
+	}
+	wg.Wait()
+	if early.Load() != 0 {
+		t.Fatalf("%d sleeps returned early", early.Load())
+	}
+	if w.pending() != 0 {
+		t.Fatalf("%d waiters left after all sleeps returned", w.pending())
+	}
+}
+
+// TestAfterFuncOrdering: expirations fire in deadline order even when
+// pushed out of order, with same-instant ties broken by insertion order.
+func TestAfterFuncOrdering(t *testing.T) {
+	w := NewWheel()
+	defer w.Stop()
+	var mu sync.Mutex
+	var got []int
+	var wg sync.WaitGroup
+	wg.Add(3)
+	record := func(id int) func() {
+		return func() {
+			mu.Lock()
+			got = append(got, id)
+			mu.Unlock()
+			wg.Done()
+		}
+	}
+	w.AfterFunc(30*time.Millisecond, record(3))
+	w.AfterFunc(10*time.Millisecond, record(1))
+	w.AfterFunc(20*time.Millisecond, record(2))
+	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	for i, want := range []int{1, 2, 3} {
+		if got[i] != want {
+			t.Fatalf("fire order %v, want [1 2 3]", got)
+		}
+	}
+}
+
+func TestStopDropsPending(t *testing.T) {
+	w := NewWheel()
+	var fired atomic.Bool
+	w.AfterFunc(time.Hour, func() { fired.Store(true) })
+	w.Stop()
+	if w.pending() != 0 {
+		t.Fatalf("%d waiters survived Stop", w.pending())
+	}
+	// New registrations after Stop are dropped, not queued forever.
+	w.AfterFunc(time.Millisecond, func() { fired.Store(true) })
+	time.Sleep(10 * time.Millisecond)
+	if fired.Load() {
+		t.Fatal("callback fired after Stop")
+	}
+}

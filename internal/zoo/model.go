@@ -53,6 +53,16 @@ type Model struct {
 	TimeMS float64 // mean execution time in milliseconds (m.time)
 	MemMB  float64 // peak GPU memory in megabytes (m.mem)
 
+	// Batched-execution cost split: one batched run serving n requests of
+	// this model costs BatchLaunchMS + n*BatchMarginalMS of GPU time (the
+	// fixed launch overhead — weight loading, kernel setup — paid once,
+	// plus a small per-item marginal). The two always sum to TimeMS, so a
+	// batch of one costs exactly the nominal serial execution and the
+	// serving layer's batch-size-1 path stays identical to the unbatched
+	// one. Derived in NewZoo.
+	BatchLaunchMS   float64
+	BatchMarginalMS float64
+
 	// Quality knobs for the simulated inference.
 	Recall   float64 // probability a present, supported concept is emitted
 	ConfMean float64 // mean confidence of a true positive
@@ -191,6 +201,22 @@ var registrySpecs = []spec{
 // NumModels is the number of deployed models (|M| in the paper).
 const NumModels = 30
 
+// batchMarginalFrac is the fraction of a model's mean execution time
+// attributed to per-item work when executions are batched; the rest is
+// the fixed launch overhead shared by the whole batch. 0.3 reflects the
+// usual GPU serving shape — most of a single inference's latency is
+// weight movement and kernel launch, which batching amortizes.
+const batchMarginalFrac = 0.3
+
+// BatchCostMS returns the simulated GPU time of one batched execution
+// serving n requests: sub-linear in n, and exactly TimeMS at n = 1.
+func (m *Model) BatchCostMS(n int) float64 {
+	if n <= 0 {
+		return 0
+	}
+	return m.BatchLaunchMS + float64(n)*m.BatchMarginalMS
+}
+
 // NewZoo builds the 30-model registry over the vocabulary.
 func NewZoo(vocab *labels.Vocabulary) *Zoo {
 	if len(registrySpecs) != NumModels {
@@ -211,6 +237,10 @@ func NewZoo(vocab *labels.Vocabulary) *Zoo {
 			FPRate:   sp.fpRate,
 			salt:     0x9e3779b97f4a7c15 * uint64(i+1),
 		}
+		// Subtraction (not a second multiply) keeps the n=1 batch cost
+		// bit-identical to TimeMS.
+		m.BatchMarginalMS = sp.timeMS * batchMarginalFrac
+		m.BatchLaunchMS = sp.timeMS - m.BatchMarginalMS
 		all := vocab.TaskLabels(sp.task)
 		switch sp.subset {
 		case "animal":

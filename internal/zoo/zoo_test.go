@@ -214,3 +214,30 @@ func TestModelsForTaskAndByName(t *testing.T) {
 		t.Fatal("ByName returned ok for a missing model")
 	}
 }
+
+// TestBatchCostModel pins the batched-execution cost split: a batch of
+// one costs exactly the nominal serial time (the serving layer's
+// batch-size-1 bit-identity depends on it), and larger batches are
+// sub-linear but never cheaper than one plain execution.
+func TestBatchCostModel(t *testing.T) {
+	for _, m := range z.Models {
+		if m.BatchLaunchMS <= 0 || m.BatchMarginalMS <= 0 {
+			t.Fatalf("%s: non-positive batch cost split %v + %v", m.Name, m.BatchLaunchMS, m.BatchMarginalMS)
+		}
+		if got := m.BatchCostMS(1); got != m.TimeMS {
+			t.Fatalf("%s: BatchCostMS(1) = %v, want exactly TimeMS %v", m.Name, got, m.TimeMS)
+		}
+		if got := m.BatchCostMS(0); got != 0 {
+			t.Fatalf("%s: BatchCostMS(0) = %v, want 0", m.Name, got)
+		}
+		for n := 2; n <= 8; n *= 2 {
+			cost := m.BatchCostMS(n)
+			if cost >= float64(n)*m.TimeMS {
+				t.Fatalf("%s: batch of %d costs %v ms, not sub-linear vs %v", m.Name, n, cost, float64(n)*m.TimeMS)
+			}
+			if cost <= m.TimeMS {
+				t.Fatalf("%s: batch of %d costs %v ms, cheaper than one execution %v", m.Name, n, cost, m.TimeMS)
+			}
+		}
+	}
+}

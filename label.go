@@ -49,9 +49,12 @@ func (a *Agent) cloneInner() *core.Agent {
 
 // clonePredictor wraps a private network clone in the per-schedule
 // Q-prediction memo: repeated policy asks on an unchanged labeling state
-// replay the cached forward pass instead of re-running it.
-func (a *Agent) clonePredictor() sched.Predictor {
-	return sched.NewCachedPredictor(a.cloneInner())
+// replay the cached forward pass instead of re-running it. A non-nil
+// shared cache additionally spans the memo across items and workers —
+// valid because every clone carries identical frozen weights, so one
+// worker's forward pass answers the same labeling state anywhere.
+func (a *Agent) clonePredictor(shared *sched.SharedCache) sched.Predictor {
+	return sched.NewSharedCachedPredictor(a.cloneInner(), shared)
 }
 
 // PredictValues returns the agent's current value estimate for every

@@ -30,7 +30,11 @@ type Policy struct {
 	// needsAgent rejects instantiation without a trained agent.
 	needsAgent bool
 	seed       uint64
-	build      func(s *System, agent *Agent, seed uint64) sim.Policy
+	// build constructs the worker-private implementation. cache, when
+	// non-nil, is the server's shared cross-item Q-prediction cache;
+	// agent-driven policies thread it into their predictors, others
+	// ignore it.
+	build func(s *System, agent *Agent, seed uint64, cache *sched.SharedCache) sim.Policy
 }
 
 // The built-in policies.
@@ -40,8 +44,8 @@ var (
 	PolicyAlgorithm1 = Policy{
 		name:       "algorithm1",
 		needsAgent: true,
-		build: func(s *System, agent *Agent, _ uint64) sim.Policy {
-			return sched.NewCostQGreedy(agent.clonePredictor(), s.Zoo)
+		build: func(s *System, agent *Agent, _ uint64, cache *sched.SharedCache) sim.Policy {
+			return sched.NewCostQGreedy(agent.clonePredictor(cache), s.Zoo)
 		},
 	}
 	// PolicyAlgorithm2 is the paper's Algorithm 2: deadline+memory batch
@@ -52,8 +56,8 @@ var (
 		name:       "algorithm2",
 		parallel:   true,
 		needsAgent: true,
-		build: func(s *System, agent *Agent, _ uint64) sim.Policy {
-			return sched.NewMemoryPacker(agent.clonePredictor(), s.Zoo)
+		build: func(s *System, agent *Agent, _ uint64, cache *sched.SharedCache) sim.Policy {
+			return sched.NewMemoryPacker(agent.clonePredictor(cache), s.Zoo)
 		},
 	}
 	// PolicyQGreedy picks the feasible model with the highest predicted
@@ -61,8 +65,8 @@ var (
 	PolicyQGreedy = Policy{
 		name:       "qgreedy",
 		needsAgent: true,
-		build: func(s *System, agent *Agent, _ uint64) sim.Policy {
-			return sched.NewQGreedy(agent.clonePredictor(), s.Zoo)
+		build: func(s *System, agent *Agent, _ uint64, cache *sched.SharedCache) sim.Policy {
+			return sched.NewQGreedy(agent.clonePredictor(cache), s.Zoo)
 		},
 	}
 	// PolicyRandom executes uniformly random feasible models — the
@@ -70,7 +74,7 @@ var (
 	// reproducible draws.
 	PolicyRandom = Policy{
 		name: "random",
-		build: func(s *System, _ *Agent, seed uint64) sim.Policy {
+		build: func(s *System, _ *Agent, seed uint64, _ *sched.SharedCache) sim.Policy {
 			return sched.NewRandom(s.Zoo, tensor.NewRNG(seed^0x9e3779b97f4a7c15))
 		},
 	}
@@ -108,10 +112,16 @@ func (p Policy) check(agent *Agent) error {
 // instantiate builds the internal policy implementation, checking the
 // agent requirement. workerSalt decorrelates per-worker RNG streams.
 func (p Policy) instantiate(s *System, agent *Agent, workerSalt uint64) (sim.Policy, error) {
+	return p.instantiateShared(s, agent, workerSalt, nil)
+}
+
+// instantiateShared is instantiate with the server's shared cross-item
+// Q-prediction cache threaded through to the predictor wrappers.
+func (p Policy) instantiateShared(s *System, agent *Agent, workerSalt uint64, cache *sched.SharedCache) (sim.Policy, error) {
 	if err := p.check(agent); err != nil {
 		return nil, err
 	}
-	return p.build(s, agent, p.seed+workerSalt), nil
+	return p.build(s, agent, p.seed+workerSalt, cache), nil
 }
 
 // PolicyNames lists the built-in policy names.

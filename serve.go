@@ -8,6 +8,7 @@ import (
 
 	"ams/internal/corpus"
 	"ams/internal/oracle"
+	"ams/internal/sched"
 	"ams/internal/serve"
 	"ams/internal/service"
 	"ams/internal/sim"
@@ -43,6 +44,25 @@ type ServeConfig struct {
 	// QueueCap bounds the admission queue (default 2*Workers). Submit
 	// rejects with ErrQueueFull when it is saturated.
 	QueueCap int
+	// BatchSize, when positive, turns on cross-item dynamic batching:
+	// same-model demand from the whole worker pool coalesces into
+	// batched executions of at most BatchSize requests, each costing a
+	// fixed launch overhead plus a per-item marginal instead of the full
+	// model time per item — and, under a memory budget, reserving the
+	// model's footprint once per batch instead of once per request.
+	// Schedules (and recall) are unchanged: deadlines charge the nominal
+	// model time. One runs every request alone, reproducing unbatched
+	// execution exactly; zero disables batching.
+	BatchSize int
+	// BatchHoldMS bounds, on the simulated clock, how long a lone
+	// request waits in its model's lane for batch-mates before flushing.
+	// Zero uses the server's default (10 ms) when batching is on.
+	BatchHoldMS float64
+	// PredictorCache, when set, shares one bounded Q-prediction cache
+	// across all workers and items: every clone carries the same frozen
+	// weights, so any worker's forward pass for a labeling state answers
+	// that state everywhere. ServeStats reports its hit rate.
+	PredictorCache bool
 	// TimeScale is the real seconds slept per simulated second of model
 	// execution (default 1.0). Small values run the full concurrent
 	// machinery at test speed.
@@ -88,6 +108,19 @@ type ServeStats struct {
 	PeakMemMB float64 // maximum simultaneous GPU reservation (real server)
 	MemWaits  int64   // executions that blocked on the memory budget
 	Rejected  int64   // submits rejected with ErrQueueFull
+
+	// Cross-item batching counters (zero unless ServeConfig.BatchSize
+	// is set). SavedGPUMS is simulated GPU time avoided versus unbatched
+	// execution; BatchSavedMemMB sums the footprint reservations
+	// coalesced away on the serial path.
+	Batches          int64
+	BatchedRequests  int64
+	LargestBatch     int
+	BatchSavedGPUMS  float64
+	BatchSavedMemMB  float64
+	PredCacheHits    int64 // shared predictor-cache hits (PredictorCache)
+	PredCacheMisses  int64
+	PredCacheEntries int
 	// ResultsDropped counts Results-stream completions shed because the
 	// subscriber fell more than a stats window behind (an abandoned
 	// consumer never blocks labeling or grows memory unboundedly).
@@ -108,9 +141,10 @@ type ServeStats struct {
 // tickets or as a stream through Results.
 type Server struct {
 	sys    *System
-	ingest *oracle.OnDemand // test store + dynamically ingested items (no corpus)
-	corpus *Corpus          // durable ingestion, when configured
-	src    *corpus.Source   // the corpus's executor view (nil without corpus)
+	ingest *oracle.OnDemand   // test store + dynamically ingested items (no corpus)
+	corpus *Corpus            // durable ingestion, when configured
+	src    *corpus.Source     // the corpus's executor view (nil without corpus)
+	cache  *sched.SharedCache // shared Q-prediction cache (nil unless configured)
 	inner  *serve.Server
 
 	// ingested memoizes each external item's executor index so repeated
@@ -172,13 +206,14 @@ func (s *System) serveResult(item Item, ir serve.ItemResult) *Result {
 // ingested external items by running models on demand, under the same
 // policies and budgets.
 func (s *System) NewServer(agent *Agent, cfg ServeConfig) (*Server, error) {
-	factory, policy, err := s.serveFactory(agent, cfg)
+	factory, policy, cache, err := s.serveFactory(agent, cfg)
 	if err != nil {
 		return nil, err
 	}
 	sv := &Server{
 		sys:       s,
 		corpus:    cfg.Corpus,
+		cache:     cache,
 		ingested:  make(map[*oracle.ExternalItem]int),
 		admitting: make(map[*oracle.ExternalItem]chan struct{}),
 	}
@@ -208,6 +243,8 @@ func (s *System) NewServer(agent *Agent, cfg ServeConfig) (*Server, error) {
 		},
 		QueueCap:       cfg.QueueCap,
 		MemoryBudgetMB: cfg.MemoryGB * 1024,
+		BatchSize:      cfg.BatchSize,
+		BatchHoldMS:    cfg.BatchHoldMS,
 		TimeScale:      cfg.TimeScale,
 		StatsWindow:    cfg.StatsWindow,
 		ItemParallel:   policy.parallel,
@@ -385,7 +422,13 @@ func (sv *Server) Results() <-chan *Result {
 }
 
 // Stats summarizes the items completed so far.
-func (sv *Server) Stats() ServeStats { return fromRunStats(sv.inner.Stats()) }
+func (sv *Server) Stats() ServeStats {
+	st := fromRunStats(sv.inner.Stats())
+	if sv.cache != nil {
+		st.PredCacheHits, st.PredCacheMisses, st.PredCacheEntries = sv.cache.Stats()
+	}
+	return st
+}
 
 // Close stops admission, drains the queue, and waits for in-flight items.
 func (sv *Server) Close() error { return sv.inner.Close() }
@@ -455,7 +498,7 @@ func (s *System) Serve(ctx context.Context, agent *Agent, cfg ServeConfig, trace
 // not apply: the sim models an unbounded FIFO queue with serial per-item
 // execution.
 func (s *System) SimulateServe(agent *Agent, cfg ServeConfig, trace ServeTrace) (ServeStats, error) {
-	factory, _, err := s.serveFactory(agent, cfg)
+	factory, _, _, err := s.serveFactory(agent, cfg)
 	if err != nil {
 		return ServeStats{}, err
 	}
@@ -486,26 +529,30 @@ func (s *System) traceConfig(cfg ServeConfig, trace ServeTrace) service.Config {
 // server's historical behavior) and builds the per-worker policy
 // factory: each worker gets a private instantiation — and through it a
 // private clone of the agent's network, LabelBatch's cloning rule.
-func (s *System) serveFactory(agent *Agent, cfg ServeConfig) (service.PolicyFactory, Policy, error) {
+func (s *System) serveFactory(agent *Agent, cfg ServeConfig) (service.PolicyFactory, Policy, *sched.SharedCache, error) {
 	policy := cfg.Policy
 	if !policy.valid() {
 		policy = PolicyAlgorithm1
 	}
 	if policy.parallel && cfg.MemoryGB <= 0 {
-		return nil, Policy{}, fmt.Errorf("ams: policy %q serves items in parallel and requires a memory budget", policy.Name())
+		return nil, Policy{}, nil, fmt.Errorf("ams: policy %q serves items in parallel and requires a memory budget", policy.Name())
 	}
 	// Validate up front so configuration errors (e.g. a missing agent)
 	// surface before any worker starts.
 	if err := policy.check(agent); err != nil {
-		return nil, Policy{}, err
+		return nil, Policy{}, nil, err
+	}
+	var cache *sched.SharedCache
+	if cfg.PredictorCache {
+		cache = sched.NewSharedCache(0)
 	}
 	return func(worker int) sim.Policy {
-		p, err := policy.instantiate(s, agent, uint64(worker))
+		p, err := policy.instantiateShared(s, agent, uint64(worker), cache)
 		if err != nil {
 			panic(err) // unreachable: validated above
 		}
 		return p
-	}, policy, nil
+	}, policy, cache, nil
 }
 
 func fromRunStats(rs serve.RunStats) ServeStats {
@@ -524,6 +571,11 @@ func fromRunStats(rs serve.RunStats) ServeStats {
 		MemWaits:        rs.MemWaits,
 		Rejected:        rs.Rejected,
 		ResultsDropped:  rs.ResultsDropped,
+		Batches:         rs.Batching.Batches,
+		BatchedRequests: rs.Batching.Requests,
+		LargestBatch:    rs.Batching.LargestBatch,
+		BatchSavedGPUMS: rs.Batching.SavedGPUMS,
+		BatchSavedMemMB: rs.Batching.SavedMemMB,
 		AvgSelectSec:    rs.AvgSelectSec,
 	}
 }
