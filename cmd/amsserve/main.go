@@ -33,10 +33,19 @@
 // item, each memoized model output, and each completed schedule is
 // appended to a write-ahead journal, committed items are evicted from
 // memory (bounded by -max-resident), and -snapshot-every compacts the
-// journal periodically. A run killed at an arbitrary point is recovered
-// with -replay: committed items are re-served bit-identically from their
-// persisted memos without re-running any model, and uncommitted items
-// are relabeled, re-running only what never reached the journal.
+// journal periodically. -sync-every/-sync-ms add group-commit fsync
+// (power-loss durability without per-record flushes). A run killed at
+// an arbitrary point is recovered with -replay: committed items are
+// re-served bit-identically from their persisted memos without
+// re-running any model, and uncommitted items are relabeled, re-running
+// only what never reached the journal.
+//
+// -shards splits the server into independent shards — each one a worker
+// pool with its own memory accountant and (with -journal, then a
+// directory of per-shard segments) its own journal — behind a router
+// that places items by -placement (hash, least, or affinity) with
+// optional work-stealing (-steal). Replaying a segmented journal
+// recovers all segments in parallel and prints one line per segment.
 //
 // Usage:
 //
@@ -46,6 +55,8 @@
 //	amsserve -agent agent.gob -timescale 1 -rate 1 -items 30
 //	amsserve -external -journal corpus.wal -max-resident 64
 //	amsserve -journal corpus.wal -replay
+//	amsserve -external -shards 4 -placement affinity -steal -journal corpus.d
+//	amsserve -journal corpus.d -replay
 package main
 
 import (
@@ -53,6 +64,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 
 	"ams"
 )
@@ -75,6 +87,10 @@ func main() {
 		batchHold  = flag.Float64("batch-hold", 0, "max simulated ms a lone request waits for batch-mates (0 = server default)")
 		predCache  = flag.Bool("pred-cache", false, "share one bounded Q-prediction cache across all workers and items")
 
+		shards    = flag.Int("shards", 0, "split the server into this many shards (own worker pool, memory accountant, and journal segment each; 0/1 = unsharded)")
+		placement = flag.String("placement", "hash", "shard placement policy: hash, least, or affinity")
+		steal     = flag.Bool("steal", false, "let an idle shard steal pending items from a loaded sibling")
+
 		rate     = flag.Int("rate", 4, "mean arrivals per simulated second (Poisson)")
 		items    = flag.Int("items", 200, "arrival trace length")
 		compare  = flag.Bool("compare", false, "also run the virtual-time simulation of the same workload")
@@ -83,11 +99,13 @@ func main() {
 		journalPath = flag.String("journal", "", "write-ahead journal path: ingested items become durable, evictable, and crash-recoverable")
 		maxResident = flag.Int("max-resident", 0, "resident-item watermark: admissions block once this many ingested items hold memory (0 = unbounded)")
 		snapEvery   = flag.Int("snapshot-every", 0, "compact the journal into a snapshot every N completed items (0 = never)")
+		syncEvery   = flag.Int("sync-every", 0, "group-commit fsync: sync the journal once this many records accumulate (0 = sync only on close/snapshot)")
+		syncMS      = flag.Float64("sync-ms", 0, "group-commit fsync: sync the journal at least every this many milliseconds (0 = off)")
 		replay      = flag.Bool("replay", false, "recover the -journal corpus from a previous (possibly killed) run and exit")
 	)
 	flag.Parse()
-	if (*replay || *maxResident > 0 || *snapEvery > 0) && *journalPath == "" {
-		log.Fatal("amsserve: -replay, -max-resident and -snapshot-every require -journal")
+	if (*replay || *maxResident > 0 || *snapEvery > 0 || *syncEvery > 0 || *syncMS > 0) && *journalPath == "" {
+		log.Fatal("amsserve: -replay, -max-resident, -snapshot-every and -sync-* require -journal")
 	}
 
 	sys, err := ams.New(ams.Config{Dataset: *dataset, NumImages: *images, Seed: *seed})
@@ -125,15 +143,29 @@ func main() {
 		BatchSize:      *batchSize,
 		BatchHoldMS:    *batchHold,
 		PredictorCache: *predCache,
+		Shards:         *shards,
+		ShardPlacement: *placement,
+		ShardSteal:     *steal,
 	}
 	trace := ams.ServeTrace{ArrivalRateHz: float64(*rate), Items: *items, Seed: *seed}
 
 	var corpus *ams.Corpus
 	if *journalPath != "" {
-		corpus, err = sys.OpenCorpus(*journalPath, ams.CorpusOptions{
+		copts := ams.CorpusOptions{
 			MaxResident:   *maxResident,
 			SnapshotEvery: *snapEvery,
-		})
+			SyncEveryN:    *syncEvery,
+			SyncEveryMS:   *syncMS,
+		}
+		// Sharded serving journals one segment per shard under a
+		// directory; replaying a directory reopens however many segments
+		// it holds (segment count from its manifest). A plain-file
+		// journal stays on the single-segment opener.
+		if *shards > 1 || (*replay && isDir(*journalPath)) {
+			corpus, err = sys.OpenCorpusDir(*journalPath, *shards, copts)
+		} else {
+			corpus, err = sys.OpenCorpus(*journalPath, copts)
+		}
 		if err != nil {
 			log.Fatalf("amsserve: %v", err)
 		}
@@ -143,8 +175,12 @@ func main() {
 	if *replay {
 		rep, err := sys.ReplayCorpus(context.Background(), agent, cfg, corpus)
 		if rep != nil {
-			fmt.Printf("\nrecovered %d committed items (bit-identical, no model re-runs), relabeled %d uncommitted items\n",
-				len(rep.Recovered), len(rep.Relabeled))
+			for _, sr := range rep.Segments {
+				fmt.Printf("segment %d: recovered %d committed, relabeled %d uncommitted\n",
+					sr.Segment, sr.Recovered, sr.Relabeled)
+			}
+			fmt.Printf("\nrecovered %d committed items (bit-identical, no model re-runs), relabeled %d uncommitted items across %d segments\n",
+				len(rep.Recovered), len(rep.Relabeled), len(rep.Segments))
 			for i, r := range rep.Recovered {
 				if i >= 3 {
 					fmt.Printf("  ...\n")
@@ -211,6 +247,13 @@ func main() {
 	}
 }
 
+// isDir reports whether path exists and is a directory — a segmented
+// journal from a sharded run.
+func isDir(path string) bool {
+	info, err := os.Stat(path)
+	return err == nil && info.IsDir()
+}
+
 // printCorpus summarizes retention: how many ingested items the corpus
 // tracks, how many still hold memory, and what the journal costs.
 func printCorpus(c *ams.Corpus) {
@@ -219,8 +262,11 @@ func printCorpus(c *ams.Corpus) {
 	fmt.Printf("  %-18s %8d (%d committed)\n", "items", cs.Items, cs.Committed)
 	fmt.Printf("  %-18s %8d\n", "resident", cs.Resident)
 	fmt.Printf("  %-18s %8d\n", "evicted", cs.Evicted)
-	fmt.Printf("  %-18s %8d B in %d records (%d snapshots)\n",
-		"journal", cs.JournalBytes, cs.JournalRecords, cs.Snapshots)
+	fmt.Printf("  %-18s %8d B in %d records (%d snapshots, %d segments)\n",
+		"journal", cs.JournalBytes, cs.JournalRecords, cs.Snapshots, cs.Segments)
+	if cs.Syncs > 0 || cs.Unsynced > 0 {
+		fmt.Printf("  %-18s %8d group commits (%d records unsynced)\n", "fsync", cs.Syncs, cs.Unsynced)
+	}
 }
 
 func printStats(name string, s ams.ServeStats) {
@@ -244,5 +290,12 @@ func printStats(name string, s ams.ServeStats) {
 		// Real (unscaled) CPU time inside the policy per item — the
 		// paper's Table III selection overhead.
 		fmt.Printf("  %-18s %8.3f ms (real, unscaled)\n", "avg select/item", s.AvgSelectSec*1000)
+	}
+	if s.Shards > 1 {
+		fmt.Printf("  %-18s %8d shards, %d steals\n", "sharding", s.Shards, s.Steals)
+		for _, ps := range s.PerShard {
+			fmt.Printf("    shard %d: %d items, %.2f /s, %.1f %% util, %d assigned, %d stolen-in, %d stolen-out, %d shed\n",
+				ps.Shard, ps.Items, ps.ThroughputHz, 100*ps.Utilization, ps.Assigned, ps.Steals, ps.StolenFrom, ps.Rejected)
+		}
 	}
 }

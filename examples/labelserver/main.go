@@ -18,6 +18,11 @@
 // from their persisted memos without re-running any model, uncommitted
 // ones are relabeled.
 //
+// With -shards N the same server splits into N affinity-routed,
+// work-stealing shards, each with its own worker slice, memory
+// accountant and (with -journal, then a directory) journal segment;
+// -replay recovers every segment in parallel.
+//
 // The -images/-epochs/-timescale flags exist so CI can smoke-run the
 // example at a tiny scale (and crash-recover it: see the crash-recovery
 // CI job, which SIGKILLs a -journal run mid-stream and replays it).
@@ -29,10 +34,18 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"sync"
 
 	"ams"
 )
+
+// isDir reports whether path exists and is a directory — a segmented
+// (sharded) journal rather than a single-file one.
+func isDir(path string) bool {
+	fi, err := os.Stat(path)
+	return err == nil && fi.IsDir()
+}
 
 func main() {
 	images := flag.Int("images", 400, "synthetic images to generate")
@@ -40,6 +53,7 @@ func main() {
 	timescale := flag.Float64("timescale", 0.001, "real seconds per simulated second")
 	journal := flag.String("journal", "", "write-ahead journal path: makes ingestion durable and crash-recoverable")
 	replay := flag.Bool("replay", false, "recover the -journal corpus from a previous (possibly killed) run and exit")
+	shards := flag.Int("shards", 0, "split the server into this many shards (affinity-routed, work-stealing); with -journal the path becomes a directory of per-shard segments")
 	flag.Parse()
 	if *replay && *journal == "" {
 		log.Fatal("labelserver: -replay requires -journal")
@@ -68,13 +82,29 @@ func main() {
 		QueueCap:    8,
 		TimeScale:   *timescale,
 	}
+	if *shards > 1 {
+		// Sharded mode: each shard gets its own worker slice, memory
+		// accountant and journal segment; the router places items by
+		// model affinity and steals work into idle shards.
+		cfg.Shards = *shards
+		cfg.ShardPlacement = "affinity"
+		cfg.ShardSteal = true
+	}
 
 	var corpus *ams.Corpus
 	if *journal != "" {
-		// MaxResident 8 keeps at most 8 ingested items' memos in memory:
-		// committed items are evicted (their durable copy is the
-		// journal) and admission of the 9th in-flight item blocks.
-		corpus, err = sys.OpenCorpus(*journal, ams.CorpusOptions{MaxResident: 8})
+		// MaxResident 8 keeps at most 8 ingested items' memos in memory
+		// (per segment when sharded): committed items are evicted (their
+		// durable copy is the journal) and admission of the 9th in-flight
+		// item blocks.
+		copts := ams.CorpusOptions{MaxResident: 8}
+		if *shards > 1 || (*replay && isDir(*journal)) {
+			// One journal segment per shard under the directory; replay
+			// reopens however many segments the manifest records.
+			corpus, err = sys.OpenCorpusDir(*journal, *shards, copts)
+		} else {
+			corpus, err = sys.OpenCorpus(*journal, copts)
+		}
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -85,6 +115,12 @@ func main() {
 		rep, err := sys.ReplayCorpus(context.Background(), agent, cfg, corpus)
 		if err != nil {
 			log.Fatal(err)
+		}
+		if len(rep.Segments) > 1 {
+			for _, sr := range rep.Segments {
+				fmt.Printf("segment %d: recovered %d committed, relabeled %d uncommitted\n",
+					sr.Segment, sr.Recovered, sr.Relabeled)
+			}
 		}
 		fmt.Printf("recovered %d committed items (no model re-runs), relabeled %d uncommitted items\n",
 			len(rep.Recovered), len(rep.Relabeled))
@@ -167,6 +203,13 @@ func main() {
 	fmt.Printf("recall %.2f over the %d ground-truth-backed items\n", s.AvgRecall, s.RecallItems)
 	fmt.Printf("peak GPU memory %0.f MB of the %0.f MB budget (%d executions waited)\n",
 		s.PeakMemMB, 6.0*1024, s.MemWaits)
+	if s.Shards > 1 {
+		fmt.Printf("%d shards, %d steals:\n", s.Shards, s.Steals)
+		for _, ps := range s.PerShard {
+			fmt.Printf("  shard %d: %d items, %.0f%% utilized, %d stolen in\n",
+				ps.Shard, ps.Items, 100*ps.Utilization, ps.Steals)
+		}
+	}
 	if corpus != nil {
 		cs := corpus.Stats()
 		fmt.Printf("corpus: %d items (%d committed), %d resident, %d evicted, %d journal bytes\n",

@@ -463,7 +463,7 @@ func TestResubmittedExternalItemReusesExecutorSlot(t *testing.T) {
 	}
 	defer srv.Close()
 	item := testSys.GenerateItems(1, 31)[0]
-	base := srv.ingest.NumItems()
+	base := srv.shards[0].ingest.NumItems()
 	for i := 0; i < 5; i++ {
 		tk, err := srv.SubmitWait(context.Background(), item)
 		if err != nil {
@@ -471,7 +471,7 @@ func TestResubmittedExternalItemReusesExecutorSlot(t *testing.T) {
 		}
 		mustWait(t, tk)
 	}
-	if got := srv.ingest.NumItems(); got != base+1 {
+	if got := srv.shards[0].ingest.NumItems(); got != base+1 {
 		t.Fatalf("5 submissions of one item grew the executor by %d slots, want 1", got-base)
 	}
 }

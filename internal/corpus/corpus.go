@@ -33,6 +33,7 @@ import (
 	"fmt"
 	"os"
 	"sync"
+	"time"
 
 	"ams/internal/oracle"
 	"ams/internal/synth"
@@ -61,6 +62,18 @@ type Options struct {
 	// automatically after every N commit records. Zero disables
 	// automatic snapshots; Snapshot can still be called explicitly.
 	SnapshotEvery int
+	// SyncEveryN and SyncEveryMS enable group-commit fsync: a background
+	// flusher syncs the journal whenever N records have accumulated since
+	// the last sync (SyncEveryN) and at least every SyncEveryMS
+	// milliseconds (SyncEveryMS), whichever fires first. Writers never
+	// block on the flush — they keep appending while a batch syncs — so
+	// durability against machine-level power loss costs one fsync per
+	// batch instead of one per record. Both zero (the default) preserves
+	// the original behavior: the journal is synced only on Close and
+	// Snapshot, and an OS crash may lose the tail (a process crash alone
+	// never does — the records are in the page cache).
+	SyncEveryN  int
+	SyncEveryMS float64
 }
 
 // entry is one item's corpus-side state. The scene and the commit
@@ -98,6 +111,13 @@ type Corpus struct {
 	closed           bool
 	err              error         // sticky journal write error
 	space            chan struct{} // closed and replaced on every eviction
+
+	// Group-commit fsync state (nil channels when disabled).
+	unsynced  int64         // records appended since the last sync
+	syncs     int64         // group-commit syncs performed
+	syncReq   chan struct{} // capacity 1: nudges the flusher at SyncEveryN
+	flushStop chan struct{}
+	flushDone chan struct{}
 }
 
 // Stats is a point-in-time summary of the corpus.
@@ -109,6 +129,8 @@ type Stats struct {
 	JournalBytes   int64 // current journal size, including the header
 	JournalRecords int64 // records appended since open
 	Snapshots      int64 // compacting snapshots taken since open
+	Syncs          int64 // group-commit fsync batches since open
+	Unsynced       int64 // records appended and not yet fsynced
 }
 
 // ItemState is one entry's externally visible lifecycle state.
@@ -131,7 +153,7 @@ func Open(z *zoo.Zoo, path string, opts Options) (*Corpus, error) {
 	if z == nil {
 		return nil, errors.New("corpus: nil zoo")
 	}
-	if opts.MaxResident < 0 || opts.SnapshotEvery < 0 {
+	if opts.MaxResident < 0 || opts.SnapshotEvery < 0 || opts.SyncEveryN < 0 || opts.SyncEveryMS < 0 {
 		return nil, fmt.Errorf("corpus: negative option in %+v", opts)
 	}
 	c := &Corpus{z: z, path: path, opts: opts, space: make(chan struct{})}
@@ -154,6 +176,7 @@ func Open(z *zoo.Zoo, path string, opts Options) (*Corpus, error) {
 			return nil, fmt.Errorf("corpus: write journal header: %w", err)
 		}
 		c.journalBytes = headerLen
+		c.startFlusher()
 		return c, nil
 	}
 	data, err := os.ReadFile(path)
@@ -182,7 +205,73 @@ func Open(z *zoo.Zoo, path string, opts Options) (*Corpus, error) {
 		return nil, fmt.Errorf("corpus: seek journal end: %w", err)
 	}
 	c.journalBytes = end
+	c.startFlusher()
 	return c, nil
+}
+
+// startFlusher launches the group-commit fsync goroutine when either
+// sync option is set.
+func (c *Corpus) startFlusher() {
+	if c.opts.SyncEveryN <= 0 && c.opts.SyncEveryMS <= 0 {
+		return
+	}
+	c.syncReq = make(chan struct{}, 1)
+	c.flushStop = make(chan struct{})
+	c.flushDone = make(chan struct{})
+	go c.flusher()
+}
+
+// flusher is the group-commit loop: it syncs the journal on the
+// SyncEveryN nudge from writeRecord, on the SyncEveryMS ticker, and
+// exits on Close (which performs the final sync itself, after every
+// writer is fenced out by the closed flag).
+func (c *Corpus) flusher() {
+	defer close(c.flushDone)
+	var tickC <-chan time.Time
+	if c.opts.SyncEveryMS > 0 {
+		tick := time.NewTicker(time.Duration(c.opts.SyncEveryMS * float64(time.Millisecond)))
+		defer tick.Stop()
+		tickC = tick.C
+	}
+	for {
+		select {
+		case <-c.flushStop:
+			return
+		case <-c.syncReq:
+			c.syncJournal()
+		case <-tickC:
+			c.syncJournal()
+		}
+	}
+}
+
+// syncJournal fsyncs the batch of records appended since the last sync.
+// The Sync runs outside c.mu — writers keep appending to the journal
+// while the batch flushes; those appends simply land in the next batch.
+func (c *Corpus) syncJournal() {
+	c.mu.Lock()
+	if c.closed || c.err != nil || c.unsynced == 0 {
+		c.mu.Unlock()
+		return
+	}
+	pending := c.unsynced
+	f := c.f
+	c.mu.Unlock()
+	err := f.Sync()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err != nil {
+		if c.err == nil && !c.closed {
+			c.err = fmt.Errorf("corpus: journal sync: %w", err)
+		}
+		return
+	}
+	c.syncs++
+	// A concurrent snapshot may have truncated the journal and reset the
+	// counter; never let it go negative.
+	if c.unsynced -= pending; c.unsynced < 0 {
+		c.unsynced = 0
+	}
 }
 
 // apply folds one replayed journal record into the in-memory state.
@@ -420,6 +509,13 @@ func (c *Corpus) writeRecord(rec *record) error {
 	}
 	c.journalBytes += int64(len(frame))
 	c.journalRecords++
+	c.unsynced++
+	if c.opts.SyncEveryN > 0 && c.unsynced >= int64(c.opts.SyncEveryN) && c.syncReq != nil {
+		select {
+		case c.syncReq <- struct{}{}:
+		default: // a nudge is already pending
+		}
+	}
 	return nil
 }
 
@@ -469,6 +565,8 @@ func (c *Corpus) Stats() Stats {
 		JournalBytes:   c.journalBytes,
 		JournalRecords: c.journalRecords,
 		Snapshots:      c.snapshots,
+		Syncs:          c.syncs,
+		Unsynced:       c.unsynced,
 	}
 }
 
@@ -476,8 +574,8 @@ func (c *Corpus) Stats() Stats {
 // admissions and commits; a sticky journal write error surfaces here.
 func (c *Corpus) Close() error {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if c.closed {
+		c.mu.Unlock()
 		return ErrClosed
 	}
 	c.closed = true
@@ -486,9 +584,20 @@ func (c *Corpus) Close() error {
 	close(c.space)
 	c.space = make(chan struct{})
 	err := c.err
+	c.mu.Unlock()
+	// Stop the group-commit flusher before the final sync. The closed
+	// flag fences out every writer, so the Sync below covers the whole
+	// journal, and the flusher never touches a closed file.
+	if c.flushStop != nil {
+		close(c.flushStop)
+		<-c.flushDone
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if syncErr := c.f.Sync(); err == nil && syncErr != nil {
 		err = fmt.Errorf("corpus: sync journal: %w", syncErr)
 	}
+	c.unsynced = 0
 	if closeErr := c.f.Close(); err == nil && closeErr != nil {
 		err = fmt.Errorf("corpus: close journal: %w", closeErr)
 	}

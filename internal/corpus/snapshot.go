@@ -148,6 +148,9 @@ func (c *Corpus) snapshotLocked() error {
 	c.journalBytes = headerLen
 	c.commitsSinceSnap = 0
 	c.snapshots++
+	// The truncated journal holds only its (reconstructible) header, and
+	// every truncated record now lives in the fsynced snapshot.
+	c.unsynced = 0
 	return nil
 }
 

@@ -147,6 +147,12 @@ type Config struct {
 	// then typically the corpus's own Source, so ingested items are
 	// journaled, memoized to disk, and evicted once committed.
 	Corpus Corpus
+
+	// Epoch, when non-zero, is the wall-clock origin of the server's
+	// simulated timeline (arrival/finish seconds in its records). Shards
+	// of one logical server share an epoch so their records merge into
+	// one coherent summary; zero means "now".
+	Epoch time.Time
 }
 
 // Corpus is the narrow contract a durable ingestion corpus exposes to
@@ -302,6 +308,10 @@ func New(ex oracle.Executor, factory service.PolicyFactory, cfg Config) (*Server
 	if cfg.BatchSize > 0 && cfg.BatchHoldMS == 0 {
 		cfg.BatchHoldMS = defaultBatchHoldMS
 	}
+	start := cfg.Epoch
+	if start.IsZero() {
+		start = time.Now()
+	}
 	s := &Server{
 		ex:          ex,
 		cfg:         cfg,
@@ -311,7 +321,7 @@ func New(ex oracle.Executor, factory service.PolicyFactory, cfg Config) (*Server
 		queue:       make(chan *Ticket, cfg.QueueCap),
 		stop:        make(chan struct{}),
 		workersDone: make(chan struct{}),
-		start:       time.Now(),
+		start:       start,
 	}
 	if cfg.BatchSize > 0 {
 		models := make([]*zoo.Model, ex.NumModels())
@@ -916,6 +926,15 @@ func (s *Server) Stats() RunStats {
 		rs.Batching = s.batcher.Stats()
 	}
 	return rs
+}
+
+// Records returns a copy of the retained per-item completion records —
+// the raw material a shard router merges across servers (with a shared
+// Config.Epoch) before one Summarize reduction.
+func (s *Server) Records() []service.Record {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]service.Record(nil), s.records...)
 }
 
 // PeakMemMB returns the accountant's observed peak (0 when unbudgeted).

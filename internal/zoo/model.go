@@ -13,6 +13,7 @@ package zoo
 
 import (
 	"fmt"
+	"sort"
 
 	"ams/internal/labels"
 	"ams/internal/synth"
@@ -105,6 +106,46 @@ func (z *Zoo) ModelsForTask(t labels.Task) []*Model {
 		}
 	}
 	return ms
+}
+
+// SupportingModels returns up to k model IDs ranked by how much of the
+// given per-label value mass each model's supported set covers — the
+// "which models would labeling this item run" signal a shard router
+// uses for affinity placement. Ties break toward the lower model ID, so
+// the ranking is deterministic; models covering none of the labels are
+// omitted.
+func (z *Zoo) SupportingModels(weights map[int]float64, k int) []int {
+	if len(weights) == 0 || k <= 0 {
+		return nil
+	}
+	type scored struct {
+		id    int
+		score float64
+	}
+	var ss []scored
+	for _, m := range z.Models {
+		score := 0.0
+		for _, l := range m.Supported {
+			score += weights[l]
+		}
+		if score > 0 {
+			ss = append(ss, scored{m.ID, score})
+		}
+	}
+	sort.Slice(ss, func(i, j int) bool {
+		if ss[i].score != ss[j].score {
+			return ss[i].score > ss[j].score
+		}
+		return ss[i].id < ss[j].id
+	})
+	if len(ss) > k {
+		ss = ss[:k]
+	}
+	ids := make([]int, len(ss))
+	for i, s := range ss {
+		ids[i] = s.id
+	}
+	return ids
 }
 
 // spec is the static description of one deployed model.

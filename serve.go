@@ -3,6 +3,7 @@ package ams
 import (
 	"context"
 	"fmt"
+	"hash/fnv"
 	"sync"
 	"time"
 
@@ -11,6 +12,7 @@ import (
 	"ams/internal/sched"
 	"ams/internal/serve"
 	"ams/internal/service"
+	"ams/internal/shard"
 	"ams/internal/sim"
 )
 
@@ -79,6 +81,24 @@ type ServeConfig struct {
 	// the memos of items already committed in the corpus's journal —
 	// replay first (ReplayCorpus) if those results are still wanted.
 	Corpus *Corpus
+	// Shards, when 2 or more, splits the server into that many
+	// independent shards — each one a worker pool with its own memory
+	// accountant (MemoryGB and Workers divide across them) and, with a
+	// corpus, its own journal segment (the corpus must have been opened
+	// with OpenCorpusDir at the same segment count) — fronted by a
+	// router that places items per ShardPlacement. One shard (or zero,
+	// the default) is the single-budget server, byte-for-byte the
+	// pre-sharding behavior.
+	Shards int
+	// ShardPlacement picks the router's placement policy: "hash"
+	// (default; consistent hash of the item identity, stable across
+	// restarts), "least" (fewest pending+in-flight), or "affinity"
+	// (items whose valuable labels map to a shard's hot models land
+	// together, keeping those models' working set stable per shard).
+	ShardPlacement string
+	// ShardSteal lets a shard whose queue idles steal pending items from
+	// its most loaded sibling (never items pinned by replay).
+	ShardSteal bool
 }
 
 // ServeTrace describes a Poisson arrival trace for Serve and
@@ -132,6 +152,33 @@ type ServeStats struct {
 	// state since the Q-prediction cache). Zero for the virtual-time
 	// sim, which models selection as free.
 	AvgSelectSec float64
+
+	// Sharding counters. Shards is 1 for the single-budget server; with
+	// ServeConfig.Shards >= 2 the top-level fields above merge every
+	// shard's records on one shared timeline (PeakMemMB sums the
+	// per-shard peaks — the footprint bound) and PerShard breaks the run
+	// out per shard. Steals counts items executed by a shard other than
+	// their placed home.
+	Shards   int
+	Steals   int64
+	PerShard []ShardServeStats
+}
+
+// ShardServeStats is one shard's slice of a sharded run.
+type ShardServeStats struct {
+	Shard        int
+	Items        int     // completions in the shard's stats window
+	Completed    int64   // total completions on this shard
+	ThroughputHz float64 // over the shard's own records
+	Utilization  float64 // of the shard's own workers
+	AvgRecall    float64 // over the shard's ground-truth-backed items
+	PeakMemMB    float64 // the shard accountant's observed peak
+	MemWaits     int64
+	Pending      int   // placed on this shard, not yet dispatched
+	Assigned     int64 // home placements routed to this shard
+	Steals       int64 // items this shard stole from siblings
+	StolenFrom   int64 // items siblings stole from this shard
+	Rejected     int64 // submits shed at this shard's queue cap
 }
 
 // Server is a running concurrent labeling server. Create one with
@@ -141,10 +188,29 @@ type ServeStats struct {
 // tickets or as a stream through Results.
 type Server struct {
 	sys    *System
-	ingest *oracle.OnDemand   // test store + dynamically ingested items (no corpus)
 	corpus *Corpus            // durable ingestion, when configured
-	src    *corpus.Source     // the corpus's executor view (nil without corpus)
 	cache  *sched.SharedCache // shared Q-prediction cache (nil unless configured)
+
+	// shards always holds at least one entry. Unsharded (Shards <= 1)
+	// the router is nil and every call goes straight through shards[0]
+	// — exactly the pre-sharding code path. Sharded, the router owns
+	// placement, stealing, and merged stats across all entries.
+	shards    []*serverShard
+	router    *shard.Router
+	placement shard.Placement
+
+	resOnce sync.Once
+	res     chan *Result
+}
+
+// serverShard is one shard of the server: one worker pool
+// (serve.Server, with its own memory accountant) plus its own ingestion
+// state — the on-demand executor or, with a corpus, its own journal
+// segment's Source.
+type serverShard struct {
+	sys    *System
+	ingest *oracle.OnDemand // test store + dynamically ingested items (no corpus)
+	src    *corpus.Source   // this shard's corpus segment view (nil without corpus)
 	inner  *serve.Server
 
 	// ingested memoizes each external item's executor index so repeated
@@ -156,20 +222,23 @@ type Server struct {
 	mu        sync.Mutex
 	ingested  map[*oracle.ExternalItem]int
 	admitting map[*oracle.ExternalItem]chan struct{}
-
-	resOnce sync.Once
-	res     chan *Result
 }
 
 // ServeTicket tracks one submitted item to completion.
 type ServeTicket struct {
 	sys  *System
 	item Item
-	in   *serve.Ticket
+	in   *serve.Ticket // unsharded
+	rt   *shard.Ticket // sharded
 }
 
 // Done is closed when the item has been labeled.
-func (t *ServeTicket) Done() <-chan struct{} { return t.in.Done() }
+func (t *ServeTicket) Done() <-chan struct{} {
+	if t.rt != nil {
+		return t.rt.Done()
+	}
+	return t.in.Done()
+}
 
 // Wait blocks until the item has been labeled — or ctx is cancelled,
 // which abandons the wait (not the item: the server still finishes it)
@@ -184,9 +253,16 @@ func (t *ServeTicket) Wait(ctx context.Context) (*Result, error) {
 		ctx = context.Background()
 	}
 	select {
-	case <-t.in.Done():
+	case <-t.Done():
 	case <-ctx.Done():
 		return nil, ctx.Err()
+	}
+	if t.rt != nil {
+		res, err := t.rt.Result()
+		if err != nil {
+			return nil, err
+		}
+		return t.sys.serveResult(t.item, res.ItemResult), nil
 	}
 	return t.sys.serveResult(t.item, t.in.Wait()), nil
 }
@@ -210,10 +286,105 @@ func (s *System) NewServer(agent *Agent, cfg ServeConfig) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	sv := &Server{
+	if cfg.Shards < 0 {
+		return nil, fmt.Errorf("ams: negative shard count %d", cfg.Shards)
+	}
+	placement, err := shard.PlacementByName(cfg.ShardPlacement)
+	if err != nil {
+		return nil, fmt.Errorf("ams: %w", err)
+	}
+	if cfg.Corpus != nil && cfg.Corpus.sys.Zoo != s.Zoo {
+		return nil, fmt.Errorf("ams: corpus opened by a different System")
+	}
+	sv := &Server{sys: s, corpus: cfg.Corpus, cache: cache, placement: placement}
+
+	if cfg.Shards <= 1 {
+		// The single-budget server: one shard, no router in the path.
+		var seg *corpus.Corpus
+		if cfg.Corpus != nil {
+			if n := cfg.Corpus.Segments(); n != 1 {
+				return nil, fmt.Errorf("ams: unsharded server needs a single-segment corpus, got %d segments", n)
+			}
+			seg = cfg.Corpus.segs[0]
+		}
+		sh, err := s.newShard(cfg, policy, seg, factory, cfg.Workers, cfg.MemoryGB, cfg.QueueCap, time.Time{})
+		if err != nil {
+			return nil, err
+		}
+		sv.shards = []*serverShard{sh}
+		return sv, nil
+	}
+
+	n := cfg.Shards
+	if cfg.Workers < n {
+		return nil, fmt.Errorf("ams: %d shards need at least %d workers, got %d", n, n, cfg.Workers)
+	}
+	if cfg.Corpus != nil && cfg.Corpus.Segments() != n {
+		return nil, fmt.Errorf("ams: %d shards need a corpus with %d journal segments (OpenCorpusDir), got %d",
+			n, n, cfg.Corpus.Segments())
+	}
+	// All shards share one clock epoch so their completion records merge
+	// into a single coherent timeline in Stats.
+	epoch := time.Now()
+	workerSplit := make([]int, n)
+	for i := range workerSplit {
+		workerSplit[i] = cfg.Workers / n
+		if i < cfg.Workers%n {
+			workerSplit[i]++
+		}
+	}
+	queuePer := 0
+	if cfg.QueueCap > 0 {
+		if queuePer = cfg.QueueCap / n; queuePer == 0 {
+			queuePer = 1
+		}
+	}
+	sv.shards = make([]*serverShard, n)
+	inners := make([]*serve.Server, n)
+	for i := 0; i < n; i++ {
+		var seg *corpus.Corpus
+		if cfg.Corpus != nil {
+			seg = cfg.Corpus.segs[i]
+		}
+		// Offset the worker indices so every clone across the fleet
+		// seeds its policy differently, exactly as one big pool would.
+		offset := 0
+		for j := 0; j < i; j++ {
+			offset += workerSplit[j]
+		}
+		shardFactory := func(w int) sim.Policy { return factory(offset + w) }
+		sh, err := s.newShard(cfg, policy, seg, shardFactory, workerSplit[i], cfg.MemoryGB/float64(n), queuePer, epoch)
+		if err != nil {
+			for _, prev := range sv.shards[:i] {
+				prev.inner.Close()
+			}
+			return nil, err
+		}
+		sv.shards[i] = sh
+		inners[i] = sh.inner
+	}
+	router, err := shard.New(inners, shard.Config{
+		Placement: placement,
+		Steal:     cfg.ShardSteal,
+		Models:    len(s.Zoo.Models),
+		Workers:   workerSplit,
+	})
+	if err != nil {
+		for _, sh := range sv.shards {
+			sh.inner.Close()
+		}
+		return nil, fmt.Errorf("ams: %w", err)
+	}
+	sv.router = router
+	return sv, nil
+}
+
+// newShard builds one shard: a serve.Server over either the shard's
+// corpus segment or a private on-demand executor.
+func (s *System) newShard(cfg ServeConfig, policy Policy, seg *corpus.Corpus, factory service.PolicyFactory,
+	workers int, memoryGB float64, queueCap int, epoch time.Time) (*serverShard, error) {
+	sh := &serverShard{
 		sys:       s,
-		corpus:    cfg.Corpus,
-		cache:     cache,
 		ingested:  make(map[*oracle.ExternalItem]int),
 		admitting: make(map[*oracle.ExternalItem]chan struct{}),
 	}
@@ -221,40 +392,38 @@ func (s *System) NewServer(agent *Agent, cfg ServeConfig) (*Server, error) {
 		ex         oracle.Executor
 		corpusHook serve.Corpus
 	)
-	if cfg.Corpus != nil {
-		if cfg.Corpus.sys.Zoo != s.Zoo {
-			return nil, fmt.Errorf("ams: corpus opened by a different System")
-		}
-		sv.src = cfg.Corpus.inner.Source(s.testStore)
-		ex = sv.src
-		corpusHook = sv.src
+	if seg != nil {
+		sh.src = seg.Source(s.testStore)
+		ex = sh.src
+		corpusHook = sh.src
 		// History already committed in the journal was delivered before:
 		// reclaim its memos so a reopened corpus does not pin them.
 		// ReplayCorpus recovers those results *before* building a server.
-		cfg.Corpus.inner.ReclaimCommitted()
+		seg.ReclaimCommitted()
 	} else {
-		sv.ingest = oracle.NewOnDemand(s.Zoo, s.testStore)
-		ex = sv.ingest
+		sh.ingest = oracle.NewOnDemand(s.Zoo, s.testStore)
+		ex = sh.ingest
 	}
 	inner, err := serve.New(ex, factory, serve.Config{
 		Config: service.Config{
-			Workers:     cfg.Workers,
+			Workers:     workers,
 			DeadlineSec: cfg.DeadlineSec,
 		},
-		QueueCap:       cfg.QueueCap,
-		MemoryBudgetMB: cfg.MemoryGB * 1024,
+		QueueCap:       queueCap,
+		MemoryBudgetMB: memoryGB * 1024,
 		BatchSize:      cfg.BatchSize,
 		BatchHoldMS:    cfg.BatchHoldMS,
 		TimeScale:      cfg.TimeScale,
 		StatsWindow:    cfg.StatsWindow,
 		ItemParallel:   policy.parallel,
 		Corpus:         corpusHook,
+		Epoch:          epoch,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("ams: %w", err)
 	}
-	sv.inner = inner
-	return sv, nil
+	sh.inner = inner
+	return sh, nil
 }
 
 // resolve maps an item onto the server's executor index, ingesting
@@ -268,8 +437,8 @@ func (s *System) NewServer(agent *Agent, cfg ServeConfig) (*Server, error) {
 // first and committed items are evicted, bounding residency at
 // CorpusOptions.MaxResident — blocking admissions wait for an eviction,
 // non-blocking ones fail with ErrCorpusFull.
-func (sv *Server) resolve(ctx context.Context, item Item, blocking bool) (int, error) {
-	ext, err := sv.sys.checkItem(item)
+func (sh *serverShard) resolve(ctx context.Context, item Item, blocking bool) (int, error) {
+	ext, err := sh.sys.checkItem(item)
 	if err != nil {
 		return 0, err
 	}
@@ -277,23 +446,23 @@ func (sv *Server) resolve(ctx context.Context, item Item, blocking bool) (int, e
 		return item.image, nil
 	}
 	for {
-		sv.mu.Lock()
-		if idx, ok := sv.ingested[ext]; ok {
-			sv.mu.Unlock()
+		sh.mu.Lock()
+		if idx, ok := sh.ingested[ext]; ok {
+			sh.mu.Unlock()
 			return idx, nil
 		}
-		if sv.src == nil {
-			idx := sv.ingest.Add(ext)
-			sv.ingested[ext] = idx
-			sv.mu.Unlock()
+		if sh.src == nil {
+			idx := sh.ingest.Add(ext)
+			sh.ingested[ext] = idx
+			sh.mu.Unlock()
 			return idx, nil
 		}
-		pending, inFlight := sv.admitting[ext]
+		pending, inFlight := sh.admitting[ext]
 		if !inFlight {
 			pending = make(chan struct{})
-			sv.admitting[ext] = pending
+			sh.admitting[ext] = pending
 		}
-		sv.mu.Unlock()
+		sh.mu.Unlock()
 		if inFlight {
 			// Another goroutine is admitting this same item. Submit must
 			// not wait (the peer may be blocked on the watermark), so it
@@ -314,30 +483,127 @@ func (sv *Server) resolve(ctx context.Context, item Item, blocking bool) (int, e
 		// and their contexts — stay live.
 		var idx int
 		if blocking {
-			idx, err = sv.src.AdmitWait(ctx, *ext.Scene(), item.id)
+			idx, err = sh.src.AdmitWait(ctx, *ext.Scene(), item.id)
 		} else {
-			idx, err = sv.src.TryAdmit(*ext.Scene(), item.id)
+			idx, err = sh.src.TryAdmit(*ext.Scene(), item.id)
 		}
-		sv.mu.Lock()
+		sh.mu.Lock()
 		if err == nil {
-			sv.ingested[ext] = idx
+			sh.ingested[ext] = idx
 		}
-		delete(sv.admitting, ext)
+		delete(sh.admitting, ext)
 		close(pending)
-		sv.mu.Unlock()
+		sh.mu.Unlock()
 		return idx, err
 	}
 }
 
+// itemKey is the stable routing identity for hash placement: the item's
+// id when it has one, the test-split index otherwise, the scene's
+// generation seed as a last resort — all properties that survive a
+// restart, so a key lands on the same shard across runs.
+func (s *System) itemKey(item Item, ext *oracle.ExternalItem) uint64 {
+	if item.id != "" {
+		h := fnv.New64a()
+		h.Write([]byte(item.id))
+		return h.Sum64()
+	}
+	if ext == nil {
+		return uint64(item.image)
+	}
+	return ext.Scene().Seed
+}
+
+// affinityHint lists the models expected to carry the item's value —
+// the affinity placement signal. For test items the hint derives from
+// the ground truth's per-label value; for external items, from the
+// scene's declared content. Production fronts would use whatever cheap
+// prior they have (content type, tenant, camera); any consistent hint
+// groups like traffic.
+func (s *System) affinityHint(item Item, ext *oracle.ExternalItem) []int {
+	weights := make(map[int]float64)
+	if ext == nil {
+		for l, v := range s.testStore.Truth(item.image).LabelValue {
+			weights[l] = v
+		}
+	} else {
+		scene := ext.Scene()
+		add := func(l int) {
+			if l >= 0 {
+				weights[l] += 1
+			}
+		}
+		add(scene.Place)
+		for _, l := range scene.Objects {
+			add(l)
+		}
+		add(scene.Emotion)
+		add(scene.Gender)
+		add(scene.Action)
+		add(scene.Dog)
+		for _, l := range scene.PoseKP {
+			add(l)
+		}
+		for _, l := range scene.HandKP {
+			add(l)
+		}
+	}
+	return s.Zoo.SupportingModels(weights, 4)
+}
+
+// routedItem builds the router submission for an item. External items
+// resolve lazily, on the shard chosen to execute them, so their corpus
+// admission lands in the executing shard's own journal segment — also
+// when stolen.
+func (sv *Server) routedItem(item Item) (shard.Item, error) {
+	ext, err := sv.sys.checkItem(item)
+	if err != nil {
+		return shard.Item{}, err
+	}
+	it := shard.Item{
+		Key: sv.sys.itemKey(item, ext),
+		Tag: item.id,
+	}
+	if sv.placement == shard.Affinity {
+		// Hints cost a pass over the zoo per submission; only the
+		// affinity router reads them.
+		it.Hint = sv.sys.affinityHint(item, ext)
+	}
+	if ext == nil {
+		it.Index = item.image
+	} else {
+		it.Resolve = func(sh int) (int, error) {
+			return sv.shards[sh].resolve(context.Background(), item, true)
+		}
+	}
+	return it, nil
+}
+
 // Submit admits one item without blocking; ErrQueueFull (server
 // saturated) and ErrCorpusFull (resident watermark reached) both mean
-// the caller should back off and retry.
+// the caller should back off and retry. On a sharded server external
+// items are journaled at dispatch time, on the shard that executes
+// them, so a corpus at its watermark surfaces as queue backpressure
+// (the shard's dispatcher waits for an eviction) rather than as
+// ErrCorpusFull here.
 func (sv *Server) Submit(item Item) (*ServeTicket, error) {
-	idx, err := sv.resolve(context.Background(), item, false)
+	if sv.router != nil {
+		it, err := sv.routedItem(item)
+		if err != nil {
+			return nil, err
+		}
+		rt, err := sv.router.Submit(it)
+		if err != nil {
+			return nil, err
+		}
+		return &ServeTicket{sys: sv.sys, item: item, rt: rt}, nil
+	}
+	sh := sv.shards[0]
+	idx, err := sh.resolve(context.Background(), item, false)
 	if err != nil {
 		return nil, err
 	}
-	tk, err := sv.inner.Submit(idx, item.id)
+	tk, err := sh.inner.Submit(idx, item.id)
 	if err != nil {
 		return nil, err
 	}
@@ -348,17 +614,42 @@ func (sv *Server) Submit(item Item) (*ServeTicket, error) {
 // queue, or a corpus at its resident watermark — until space frees or
 // the context is cancelled (returning ctx.Err()).
 func (sv *Server) SubmitWait(ctx context.Context, item Item) (*ServeTicket, error) {
-	idx, err := sv.resolve(ctx, item, true)
+	if sv.router != nil {
+		it, err := sv.routedItem(item)
+		if err != nil {
+			return nil, err
+		}
+		rt, err := sv.router.SubmitWait(ctx, it)
+		if err != nil {
+			return nil, err
+		}
+		return &ServeTicket{sys: sv.sys, item: item, rt: rt}, nil
+	}
+	sh := sv.shards[0]
+	idx, err := sh.resolve(ctx, item, true)
 	if err != nil {
 		return nil, err
 	}
-	return sv.submitIndex(ctx, idx, item)
+	tk, err := sh.inner.SubmitWait(ctx, idx, item.id)
+	if err != nil {
+		return nil, err
+	}
+	return &ServeTicket{sys: sv.sys, item: item, in: tk}, nil
 }
 
-// submitIndex is the resolved-index tail of SubmitWait, also used by
-// ReplayCorpus to re-submit items that already hold corpus slots.
-func (sv *Server) submitIndex(ctx context.Context, idx int, item Item) (*ServeTicket, error) {
-	tk, err := sv.inner.SubmitWait(ctx, idx, item.id)
+// submitSeg re-submits an item that already holds a slot in segment
+// seg's corpus — ReplayCorpus's path. On a sharded server the item is
+// pinned to that segment's shard, so its relabeling journals into the
+// segment that already knows it.
+func (sv *Server) submitSeg(ctx context.Context, seg, idx int, item Item) (*ServeTicket, error) {
+	if sv.router != nil {
+		rt, err := sv.router.SubmitWait(ctx, shard.Item{Tag: item.id, Index: idx, Pin: seg + 1})
+		if err != nil {
+			return nil, err
+		}
+		return &ServeTicket{sys: sv.sys, item: item, rt: rt}, nil
+	}
+	tk, err := sv.shards[0].inner.SubmitWait(ctx, idx, item.id)
 	if err != nil {
 		return nil, err
 	}
@@ -403,35 +694,84 @@ func (sv *Server) SubmitImage(image int) (*ServeTicket, error) {
 // items they came from.
 func (sv *Server) Results() <-chan *Result {
 	sv.resOnce.Do(func() {
-		inner := sv.inner.Results()
 		ch := make(chan *Result)
-		go func() {
-			defer close(ch)
-			for ir := range inner {
-				item := Item{id: ir.Tag, image: ir.Image, valid: true}
-				if ir.Image >= sv.sys.testStore.NumScenes() {
-					// Ingested item: no test-split index to report.
-					item.image = -1
-				}
-				ch <- sv.sys.serveResult(item, ir)
+		convert := func(ir serve.ItemResult) *Result {
+			item := Item{id: ir.Tag, image: ir.Image, valid: true}
+			if ir.Image >= sv.sys.testStore.NumScenes() {
+				// Ingested item: no test-split index to report.
+				item.image = -1
 			}
-		}()
+			return sv.sys.serveResult(item, ir)
+		}
+		if sv.router != nil {
+			inner := sv.router.Results()
+			go func() {
+				defer close(ch)
+				for res := range inner {
+					ch <- convert(res.ItemResult)
+				}
+			}()
+		} else {
+			inner := sv.shards[0].inner.Results()
+			go func() {
+				defer close(ch)
+				for ir := range inner {
+					ch <- convert(ir)
+				}
+			}()
+		}
 		sv.res = ch
 	})
 	return sv.res
 }
 
-// Stats summarizes the items completed so far.
+// Stats summarizes the items completed so far. On a sharded server the
+// top-level fields merge every shard's completion records on the shared
+// timeline and PerShard breaks out each shard.
 func (sv *Server) Stats() ServeStats {
-	st := fromRunStats(sv.inner.Stats())
+	var st ServeStats
+	if sv.router != nil {
+		rst := sv.router.Stats()
+		st = fromRunStats(rst.Merged)
+		st.Shards = len(sv.shards)
+		st.Steals = rst.Steals
+		st.PerShard = make([]ShardServeStats, len(rst.PerShard))
+		for i, ps := range rst.PerShard {
+			st.PerShard[i] = ShardServeStats{
+				Shard:        ps.Shard,
+				Items:        ps.Items,
+				Completed:    ps.Completed,
+				ThroughputHz: ps.ThroughputHz,
+				Utilization:  ps.Utilization,
+				AvgRecall:    ps.AvgRecall,
+				PeakMemMB:    ps.PeakMemMB,
+				MemWaits:     ps.MemWaits,
+				Pending:      ps.Pending,
+				Assigned:     ps.Assigned,
+				Steals:       ps.Steals,
+				StolenFrom:   ps.StolenFrom,
+				Rejected:     ps.Rejected,
+			}
+		}
+	} else {
+		st = fromRunStats(sv.shards[0].inner.Stats())
+		st.Shards = 1
+	}
 	if sv.cache != nil {
 		st.PredCacheHits, st.PredCacheMisses, st.PredCacheEntries = sv.cache.Stats()
 	}
 	return st
 }
 
-// Close stops admission, drains the queue, and waits for in-flight items.
-func (sv *Server) Close() error { return sv.inner.Close() }
+// Close stops admission, drains the queue (on a sharded server, every
+// shard's pending queue through its workers), and waits for in-flight
+// items.
+func (sv *Server) Close() error {
+	if sv.router != nil {
+		return sv.router.Close()
+	}
+	return sv.shards[0].inner.Close()
+}
 
 // Serve replays a Poisson arrival trace through a fresh server, pulling
 // items from src — any SceneSource; nil means the built-in test split,
