@@ -1,0 +1,109 @@
+// Package analysistest runs one analyzer over a testdata fixture package
+// and checks its diagnostics against `// want` annotations, mirroring
+// golang.org/x/tools/go/analysis/analysistest on the standard library
+// only (this module vendors nothing and builds offline).
+//
+// A fixture line that should trigger a finding carries a trailing
+//
+//	code() // want "regexp"
+//
+// comment; the regexp must match the diagnostic message reported on that
+// line. Diagnostics with no matching want, and wants with no matching
+// diagnostic, both fail the test. Lines suppressed by a valid
+// //amsvet:allow comment must carry no want: the harness checks the
+// post-suppression view, exactly what amsvet ships.
+package analysistest
+
+import (
+	"fmt"
+	"regexp"
+	"strings"
+	"testing"
+
+	"ams/internal/analysis"
+)
+
+// want is one expected diagnostic.
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+// Run loads the fixture directory as one package, applies the analyzer
+// (with allow-comment suppression), and enforces the want annotations.
+func Run(t *testing.T, dir string, a *analysis.Analyzer) {
+	t.Helper()
+	pkg, err := analysis.LoadFixture(dir)
+	if err != nil {
+		t.Fatalf("load fixture %s: %v", dir, err)
+	}
+	diags, err := analysis.Check(pkg, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("check %s: %v", dir, err)
+	}
+
+	wants := collectWants(t, pkg)
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants {
+			if !w.hit && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.re)
+		}
+	}
+}
+
+// collectWants parses `// want "re"` comments out of the fixture.
+func collectWants(t *testing.T, pkg *analysis.Package) []*want {
+	t.Helper()
+	var wants []*want
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := cutWant(c.Text)
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				pat, err := unquoteWant(text)
+				if err != nil {
+					t.Fatalf("%s:%d: %v", pos.Filename, pos.Line, err)
+				}
+				re, err := regexp.Compile(pat)
+				if err != nil {
+					t.Fatalf("%s:%d: bad want regexp: %v", pos.Filename, pos.Line, err)
+				}
+				wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re})
+			}
+		}
+	}
+	return wants
+}
+
+func cutWant(comment string) (string, bool) {
+	const marker = "// want "
+	i := strings.Index(comment, marker)
+	if i < 0 {
+		return "", false
+	}
+	return strings.TrimSpace(comment[i+len(marker):]), true
+}
+
+func unquoteWant(s string) (string, error) {
+	if len(s) < 2 || s[0] != '"' || s[len(s)-1] != '"' {
+		return "", fmt.Errorf("want pattern must be a quoted regexp, got %s", s)
+	}
+	return s[1 : len(s)-1], nil
+}

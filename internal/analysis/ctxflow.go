@@ -1,0 +1,194 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// CtxFlow enforces context propagation in library code.
+var CtxFlow = &Analyzer{
+	Name: "ctxflow",
+	Doc: "Library (non-main, non-example, non-test) code must thread the " +
+		"caller's context.Context instead of minting context.Background or " +
+		"context.TODO — a minted context silently detaches cancellation " +
+		"from the public API that promised it. The defaulting guard " +
+		"`if ctx == nil { ctx = context.Background() }` is the one " +
+		"sanctioned mint. Exported functions that accept a ctx must also " +
+		"use it: an ignored parameter is a cancellation promise the " +
+		"implementation dropped.",
+	Run: runCtxFlow,
+}
+
+func runCtxFlow(pass *Pass) error {
+	if pass.Pkg.Name() == "main" || strings.Contains(pass.Pkg.Path(), "/examples/") {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if isTestFile(pass, f) {
+			continue
+		}
+		checkCtxMints(pass, f)
+		checkCtxParams(pass, f)
+	}
+	return nil
+}
+
+// checkCtxMints flags context.Background()/context.TODO() calls outside
+// the nil-defaulting guard idiom.
+func checkCtxMints(pass *Pass, f *ast.File) {
+	// Collect the assignments sanctioned by a `if ctx == nil` guard:
+	// inside such an if body, `ctx = context.Background()` re-binds the
+	// very variable the guard proved nil.
+	sanctioned := make(map[ast.Node]bool)
+	ast.Inspect(f, func(n ast.Node) bool {
+		ifs, ok := n.(*ast.IfStmt)
+		if !ok {
+			return true
+		}
+		guarded := nilCheckedIdent(pass, ifs.Cond)
+		if guarded == nil {
+			return true
+		}
+		for _, stmt := range ifs.Body.List {
+			asg, ok := stmt.(*ast.AssignStmt)
+			if !ok || len(asg.Lhs) != 1 || len(asg.Rhs) != 1 {
+				continue
+			}
+			lhs, ok := asg.Lhs[0].(*ast.Ident)
+			if !ok || pass.Info.Uses[lhs] != guarded {
+				continue
+			}
+			if isCtxMint(pass.Info, asg.Rhs[0]) != "" {
+				sanctioned[asg.Rhs[0]] = true
+			}
+		}
+		return true
+	})
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		name := isCtxMint(pass.Info, call)
+		if name == "" || sanctioned[call] {
+			return true
+		}
+		pass.Reportf(call.Pos(), "context.%s minted in library code: propagate the caller's ctx (only the `if ctx == nil` default guard may mint one)", name)
+		return true
+	})
+}
+
+// nilCheckedIdent returns the context.Context-typed object a condition
+// of the form `x == nil` (or `nil == x`) tests, or nil.
+func nilCheckedIdent(pass *Pass, cond ast.Expr) types.Object {
+	bin, ok := cond.(*ast.BinaryExpr)
+	if !ok || bin.Op.String() != "==" {
+		return nil
+	}
+	x := bin.X
+	if isNilIdent(bin.X) {
+		x = bin.Y
+	} else if !isNilIdent(bin.Y) {
+		return nil
+	}
+	id, ok := ast.Unparen(x).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	obj := pass.Info.Uses[id]
+	if obj == nil || !isContextType(obj.Type()) {
+		return nil
+	}
+	return obj
+}
+
+func isNilIdent(e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+// isCtxMint returns "Background" or "TODO" when e is a call to that
+// context constructor, else "".
+func isCtxMint(info *types.Info, e ast.Expr) string {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return ""
+	}
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+		return ""
+	}
+	if fn.Name() == "Background" || fn.Name() == "TODO" {
+		return fn.Name()
+	}
+	return ""
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// checkCtxParams flags exported functions whose context parameter is
+// never referenced in the body.
+func checkCtxParams(pass *Pass, f *ast.File) {
+	for _, decl := range f.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Body == nil || !fd.Name.IsExported() {
+			continue
+		}
+		if recv := receiverTypeName(fd); recv != "" && !ast.IsExported(recv) {
+			continue // methods on unexported types are not public surface
+		}
+		for _, field := range fd.Type.Params.List {
+			for _, name := range field.Names {
+				if name.Name == "_" {
+					continue
+				}
+				obj := pass.Info.Defs[name]
+				if obj == nil || !isContextType(obj.Type()) {
+					continue
+				}
+				if !identUsed(pass, fd.Body, obj) {
+					pass.Reportf(name.Pos(), "exported %s accepts ctx but never uses it: propagate it or name the parameter _", fd.Name.Name)
+				}
+			}
+		}
+	}
+}
+
+func receiverTypeName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return ""
+	}
+	t := fd.Recv.List[0].Type
+	for {
+		switch tt := t.(type) {
+		case *ast.StarExpr:
+			t = tt.X
+		case *ast.IndexExpr: // generic receiver
+			t = tt.X
+		case *ast.Ident:
+			return tt.Name
+		default:
+			return ""
+		}
+	}
+}
+
+func identUsed(pass *Pass, body *ast.BlockStmt, obj types.Object) bool {
+	used := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && pass.Info.Uses[id] == obj {
+			used = true
+		}
+		return !used
+	})
+	return used
+}

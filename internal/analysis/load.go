@@ -1,0 +1,264 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+)
+
+// A Package is one type-checked module package ready for analysis.
+type Package struct {
+	Path  string
+	Name  string
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// listPackage is the subset of `go list -json` output the loader reads.
+type listPackage struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+	GoFiles    []string
+	ImportMap  map[string]string
+	Error      *struct{ Err string }
+}
+
+// Load lists, parses, and type-checks the module packages matched by
+// patterns (relative to dir), returning them in listing order.
+//
+// Dependencies — the standard library and sibling module packages alike
+// — are loaded from compiler export data produced by `go list -export`,
+// so only the packages under analysis are type-checked from source.
+// This needs no network and no third-party loader: it is the same
+// export-data path `go vet` itself uses.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{"list", "-e", "-export", "-deps", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var out, errb bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errb
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("amsvet: go list: %v\n%s", err, errb.String())
+	}
+
+	exports := make(map[string]string) // import path -> export data file
+	importMaps := make(map[string]map[string]string)
+	var targets []*listPackage
+	dec := json.NewDecoder(&out)
+	for {
+		var lp listPackage
+		if err := dec.Decode(&lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("amsvet: decode go list output: %w", err)
+		}
+		if lp.Error != nil {
+			return nil, fmt.Errorf("amsvet: %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		if lp.Export != "" {
+			exports[lp.ImportPath] = lp.Export
+		}
+		if len(lp.ImportMap) > 0 {
+			importMaps[lp.ImportPath] = lp.ImportMap
+		}
+		if !lp.DepOnly && !lp.Standard {
+			p := lp
+			targets = append(targets, &p)
+		}
+	}
+
+	fset := token.NewFileSet()
+	imp := newExportImporter(fset, exports)
+	var pkgs []*Package
+	for _, lp := range targets {
+		pkg, err := typecheck(fset, imp, lp, importMaps[lp.ImportPath])
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// LoadFixture parses and type-checks a single directory of Go files as
+// one package — the analysistest path, where fixtures live under
+// testdata and are invisible to `go list ./...`. The package's import
+// path defaults to the directory name; a fixture whose analyzer is
+// scoped by import path declares the path it impersonates with a
+//
+//	//amsvet:importpath ams/internal/sim
+//
+// comment in any of its files. Fixture imports (standard library only)
+// resolve through the same export-data importer as Load, fed by a
+// `go list -export -deps` over the imported paths.
+func LoadFixture(dir string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() || filepath.Ext(e.Name()) != ".go" {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+		names = append(names, filepath.Join(dir, e.Name()))
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("amsvet: no Go files in fixture %s", dir)
+	}
+
+	importPath := filepath.Base(dir)
+	imported := make(map[string]bool)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if rest, ok := cutPrefix(c.Text, "//amsvet:importpath "); ok {
+					importPath = rest
+				}
+			}
+		}
+		for _, spec := range f.Imports {
+			imported[importPathOf(spec)] = true
+		}
+	}
+
+	exports := make(map[string]string)
+	if len(imported) > 0 {
+		args := []string{"list", "-e", "-export", "-deps", "-json"}
+		for p := range imported {
+			args = append(args, p)
+		}
+		cmd := exec.Command("go", args...)
+		cmd.Dir = dir
+		var out, errb bytes.Buffer
+		cmd.Stdout = &out
+		cmd.Stderr = &errb
+		if err := cmd.Run(); err != nil {
+			return nil, fmt.Errorf("amsvet: go list fixture deps: %v\n%s", err, errb.String())
+		}
+		dec := json.NewDecoder(&out)
+		for {
+			var lp listPackage
+			if err := dec.Decode(&lp); err == io.EOF {
+				break
+			} else if err != nil {
+				return nil, err
+			}
+			if lp.Export != "" {
+				exports[lp.ImportPath] = lp.Export
+			}
+		}
+	}
+
+	lp := &listPackage{ImportPath: importPath, Dir: dir, GoFiles: names}
+	return typecheckFiles(fset, newExportImporter(fset, exports), lp, nil, files)
+}
+
+func cutPrefix(s, prefix string) (string, bool) {
+	if len(s) >= len(prefix) && s[:len(prefix)] == prefix {
+		return s[len(prefix):], true
+	}
+	return "", false
+}
+
+func importPathOf(spec *ast.ImportSpec) string {
+	p := spec.Path.Value
+	return p[1 : len(p)-1] // strip quotes
+}
+
+func typecheck(fset *token.FileSet, imp types.ImporterFrom, lp *listPackage, importMap map[string]string) (*Package, error) {
+	var files []*ast.File
+	for _, name := range lp.GoFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return typecheckFiles(fset, imp, lp, importMap, files)
+}
+
+func typecheckFiles(fset *token.FileSet, imp types.ImporterFrom, lp *listPackage, importMap map[string]string, files []*ast.File) (*Package, error) {
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := &types.Config{
+		Importer: &mappedImporter{imp: imp, m: importMap},
+	}
+	tpkg, err := conf.Check(lp.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("amsvet: typecheck %s: %w", lp.ImportPath, err)
+	}
+	return &Package{
+		Path:  lp.ImportPath,
+		Name:  tpkg.Name(),
+		Dir:   lp.Dir,
+		Fset:  fset,
+		Files: files,
+		Types: tpkg,
+		Info:  info,
+	}, nil
+}
+
+// mappedImporter applies a package's vendor ImportMap (a no-op in this
+// module, which vendors nothing) before delegating to the shared
+// export-data importer.
+type mappedImporter struct {
+	imp types.ImporterFrom
+	m   map[string]string
+}
+
+func (mi *mappedImporter) Import(path string) (*types.Package, error) {
+	return mi.ImportFrom(path, "", 0)
+}
+
+func (mi *mappedImporter) ImportFrom(path, srcDir string, mode types.ImportMode) (*types.Package, error) {
+	if mapped, ok := mi.m[path]; ok {
+		path = mapped
+	}
+	return mi.imp.ImportFrom(path, srcDir, mode)
+}
+
+// newExportImporter returns an importer that resolves every package from
+// the compiler export data files `go list -export` reported.
+func newExportImporter(fset *token.FileSet, exports map[string]string) types.ImporterFrom {
+	lookup := func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("amsvet: no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	return importer.ForCompiler(fset, "gc", lookup).(types.ImporterFrom)
+}

@@ -1,0 +1,300 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// LockBlock forbids blocking operations inside mutex critical sections.
+var LockBlock = &Analyzer{
+	Name: "lockblock",
+	Doc: "No blocking operation — channel send/receive, select without " +
+		"default, Wait, Sleep, or an os.File fsync — while a sync.Mutex or " +
+		"RWMutex acquired in the same function is still held. A blocked " +
+		"holder stalls every other goroutine contending for the lock; this " +
+		"is the PR-7 bug class, where the corpus flusher fsynced the " +
+		"journal under the corpus mutex and writers queued behind the " +
+		"disk. Functions whose name ends in \"Locked\" are analyzed as if " +
+		"a caller-held lock were in force, matching the repo's naming " +
+		"convention. sync.Cond.Wait is exempt (it releases the lock while " +
+		"parked); deliberate stop-the-world sections opt out per line with " +
+		"//amsvet:allow lockblock <reason>.",
+	Run: runLockBlock,
+}
+
+func runLockBlock(pass *Pass) error {
+	for _, f := range pass.Files {
+		if isTestFile(pass, f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			var name string
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body, name = fn.Body, fn.Name.Name
+			case *ast.FuncLit:
+				body, name = fn.Body, ""
+			default:
+				return true
+			}
+			if body == nil {
+				return true
+			}
+			held := make(map[string]token.Pos)
+			if strings.HasSuffix(name, "Locked") {
+				// The repo's convention: fooLocked runs with the caller's
+				// mutex held, so its whole body is a critical section.
+				held["<caller's lock>"] = body.Pos()
+			}
+			walkLockStmts(pass, body.List, held)
+			return true // descend: FuncLits nested inside get their own visit
+		})
+	}
+	return nil
+}
+
+// walkLockStmts scans one statement sequence, tracking which mutexes are
+// held after each statement. Branch bodies get a copy of the held set:
+// an unlock on one path does not release the other.
+func walkLockStmts(pass *Pass, stmts []ast.Stmt, held map[string]token.Pos) {
+	for _, stmt := range stmts {
+		walkLockStmt(pass, stmt, held)
+	}
+}
+
+func walkLockStmt(pass *Pass, stmt ast.Stmt, held map[string]token.Pos) {
+	switch s := stmt.(type) {
+	case *ast.ExprStmt:
+		if recv, kind := mutexOp(pass.Info, s.X); kind != "" {
+			switch kind {
+			case "Lock", "RLock":
+				held[recv] = s.Pos()
+			case "Unlock", "RUnlock":
+				delete(held, recv)
+			}
+			return
+		}
+		scanBlocking(pass, s.X, held)
+	case *ast.DeferStmt:
+		// `defer mu.Unlock()` pins the lock for the rest of the function;
+		// the held set already reflects that, so nothing changes. Other
+		// deferred calls run after the function's own statements and are
+		// not part of this critical section.
+	case *ast.GoStmt:
+		// The spawned goroutine does not run under the caller's locks;
+		// its FuncLit body is analyzed as its own function.
+	case *ast.SendStmt:
+		if len(held) > 0 {
+			pass.Reportf(s.Pos(), "channel send while %s is held: move it after the unlock", heldName(held))
+		}
+	case *ast.AssignStmt, *ast.DeclStmt, *ast.ReturnStmt, *ast.IncDecStmt:
+		scanBlocking(pass, stmt, held)
+	case *ast.BlockStmt:
+		walkLockStmts(pass, s.List, held)
+	case *ast.LabeledStmt:
+		walkLockStmt(pass, s.Stmt, held)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			walkLockStmt(pass, s.Init, held)
+		}
+		scanBlocking(pass, s.Cond, held)
+		walkLockStmts(pass, s.Body.List, copyHeld(held))
+		if s.Else != nil {
+			walkLockStmt(pass, s.Else, copyHeld(held))
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			walkLockStmt(pass, s.Init, held)
+		}
+		if s.Cond != nil {
+			scanBlocking(pass, s.Cond, held)
+		}
+		body := copyHeld(held)
+		walkLockStmts(pass, s.Body.List, body)
+		if s.Post != nil {
+			walkLockStmt(pass, s.Post, body)
+		}
+	case *ast.RangeStmt:
+		if len(held) > 0 {
+			if t := pass.Info.Types[s.X].Type; t != nil {
+				if _, isChan := t.Underlying().(*types.Chan); isChan {
+					pass.Reportf(s.Pos(), "range over channel while %s is held: the loop blocks until the channel closes", heldName(held))
+				}
+			}
+		}
+		scanBlocking(pass, s.X, held)
+		walkLockStmts(pass, s.Body.List, copyHeld(held))
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			walkLockStmt(pass, s.Init, held)
+		}
+		if s.Tag != nil {
+			scanBlocking(pass, s.Tag, held)
+		}
+		for _, cc := range s.Body.List {
+			walkLockStmts(pass, cc.(*ast.CaseClause).Body, copyHeld(held))
+		}
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			walkLockStmt(pass, s.Init, held)
+		}
+		for _, cc := range s.Body.List {
+			walkLockStmts(pass, cc.(*ast.CaseClause).Body, copyHeld(held))
+		}
+	case *ast.SelectStmt:
+		hasDefault := false
+		for _, clause := range s.Body.List {
+			if clause.(*ast.CommClause).Comm == nil {
+				hasDefault = true
+			}
+		}
+		if !hasDefault && len(held) > 0 {
+			pass.Reportf(s.Pos(), "select without default while %s is held: it parks the goroutine inside the critical section", heldName(held))
+		}
+		for _, clause := range s.Body.List {
+			walkLockStmts(pass, clause.(*ast.CommClause).Body, copyHeld(held))
+		}
+	}
+}
+
+// scanBlocking reports receives and blocking calls inside an expression
+// or simple statement evaluated while locks are held. Function-literal
+// bodies are skipped: they run when called, not where they are written.
+func scanBlocking(pass *Pass, n ast.Node, held map[string]token.Pos) {
+	if len(held) == 0 || n == nil {
+		return
+	}
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.UnaryExpr:
+			if e.Op == token.ARROW {
+				pass.Reportf(e.Pos(), "channel receive while %s is held: move it after the unlock", heldName(held))
+			}
+		case *ast.CallExpr:
+			if why := blockingCall(pass.Info, e); why != "" {
+				pass.Reportf(e.Pos(), "%s while %s is held: move it outside the critical section", why, heldName(held))
+			}
+		}
+		return true
+	})
+}
+
+// mutexOp recognizes X.Lock / X.RLock / X.Unlock / X.RUnlock calls on a
+// sync.Mutex or sync.RWMutex (including ones promoted from an embedded
+// field) and returns a stable name for the lock plus the operation.
+func mutexOp(info *types.Info, e ast.Expr) (recv string, kind string) {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return "", ""
+	}
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", ""
+	}
+	switch fn.Name() {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return "", ""
+	}
+	sig := fn.Type().(*types.Signature)
+	if sig.Recv() == nil || !isMutexType(sig.Recv().Type()) {
+		return "", ""
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	return types.ExprString(sel.X), fn.Name()
+}
+
+func isMutexType(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" &&
+		(obj.Name() == "Mutex" || obj.Name() == "RWMutex")
+}
+
+// blockingCall classifies a call that parks the goroutine: Wait methods
+// (sync.WaitGroup, tickets, routers — but not sync.Cond, which releases
+// the mutex while parked), Sleep (time or the vtime wheel), and
+// (*os.File).Sync, the PR-7 offender.
+func blockingCall(info *types.Info, call *ast.CallExpr) string {
+	fn := calleeFunc(info, call)
+	if fn == nil {
+		return ""
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return ""
+	}
+	recv := sig.Recv()
+	switch fn.Name() {
+	case "Wait":
+		if recv == nil {
+			return ""
+		}
+		if named := namedOf(recv.Type()); named != nil {
+			obj := named.Obj()
+			if obj.Pkg() != nil && obj.Pkg().Path() == "sync" && obj.Name() == "Cond" {
+				return "" // Cond.Wait atomically releases the lock
+			}
+		}
+		return "blocking " + recvTypeName(recv) + ".Wait call"
+	case "Sleep":
+		return "Sleep call"
+	case "Sync":
+		if recv != nil {
+			if named := namedOf(recv.Type()); named != nil {
+				obj := named.Obj()
+				if obj.Pkg() != nil && obj.Pkg().Path() == "os" && obj.Name() == "File" {
+					return "journal fsync (os.File.Sync)"
+				}
+			}
+		}
+	}
+	return ""
+}
+
+func namedOf(t types.Type) *types.Named {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+func recvTypeName(recv *types.Var) string {
+	if named := namedOf(recv.Type()); named != nil {
+		return named.Obj().Name()
+	}
+	return "value"
+}
+
+func heldName(held map[string]token.Pos) string {
+	best := ""
+	for name := range held {
+		if best == "" || name < best {
+			best = name
+		}
+	}
+	return "mutex " + best
+}
+
+func copyHeld(held map[string]token.Pos) map[string]token.Pos {
+	cp := make(map[string]token.Pos, len(held))
+	for k, v := range held {
+		cp[k] = v
+	}
+	return cp
+}

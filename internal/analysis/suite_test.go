@@ -1,0 +1,79 @@
+package analysis_test
+
+import (
+	"strings"
+	"testing"
+
+	"ams/internal/analysis"
+	"ams/internal/analysis/analysistest"
+)
+
+func TestReservePair(t *testing.T) {
+	analysistest.Run(t, "testdata/reservepair", analysis.ReservePair)
+}
+
+func TestVtimeSleep(t *testing.T) {
+	analysistest.Run(t, "testdata/vtimesleep", analysis.VtimeSleep)
+}
+
+// TestVtimeSleepOutOfScope proves the analyzer is scoped: the same raw
+// timers in a wall-clock package produce no diagnostics.
+func TestVtimeSleepOutOfScope(t *testing.T) {
+	analysistest.Run(t, "testdata/vtimesleep_out", analysis.VtimeSleep)
+}
+
+func TestLockBlock(t *testing.T) {
+	analysistest.Run(t, "testdata/lockblock", analysis.LockBlock)
+}
+
+func TestCtxFlow(t *testing.T) {
+	analysistest.Run(t, "testdata/ctxflow", analysis.CtxFlow)
+}
+
+// TestSuiteCleanOnTree runs the full suite over the whole module — the
+// same run CI's amsvet job performs — so a new invariant violation fails
+// tier-1 tests even before CI. Every pre-existing true positive was
+// either fixed in this tree or carries a reasoned //amsvet:allow.
+func TestSuiteCleanOnTree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and typechecks the whole module")
+	}
+	pkgs, err := analysis.Load("../..", "./...")
+	if err != nil {
+		t.Fatalf("load module: %v", err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("loader matched no packages")
+	}
+	suite := analysis.All()
+	for _, pkg := range pkgs {
+		diags, err := analysis.Check(pkg, suite)
+		if err != nil {
+			t.Fatalf("check %s: %v", pkg.Path, err)
+		}
+		for _, d := range diags {
+			t.Errorf("%s", d)
+		}
+	}
+}
+
+// TestAllowNeedsReason covers the escape hatch's own contract: an allow
+// comment without a reason (or naming an unknown analyzer) is a finding.
+func TestAllowNeedsReason(t *testing.T) {
+	pkg, err := analysis.LoadFixture("testdata/allowform")
+	if err != nil {
+		t.Fatalf("load fixture: %v", err)
+	}
+	diags, err := analysis.Check(pkg, analysis.All())
+	if err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	if len(diags) != 2 {
+		t.Fatalf("got %d diagnostics, want 2: %v", len(diags), diags)
+	}
+	for i, wantSub := range []string{"needs a reason", "unknown analyzer"} {
+		if !strings.Contains(diags[i].Message, wantSub) {
+			t.Errorf("diagnostic %d = %q, want substring %q", i, diags[i].Message, wantSub)
+		}
+	}
+}

@@ -1,0 +1,13 @@
+// Malformed escape hatches are themselves findings: a suppression
+// without a reason is review debt, not a sanction. The expectations for
+// this fixture live in TestAllowNeedsReason (a want comment cannot share
+// a line with the allow comment under test).
+//
+//amsvet:importpath ams/internal/fixture
+package fixture
+
+//amsvet:allow vtimesleep
+
+//amsvet:allow nosuchanalyzer because reasons
+
+func placeholder() {}

@@ -1,0 +1,50 @@
+// Package fixture seeds context-propagation violations: minted
+// Backgrounds in library code and an exported function that drops its
+// ctx parameter. The nil-defaulting guard and the annotated dispatcher
+// site stay quiet.
+//
+//amsvet:importpath ams/internal/fixture
+package fixture
+
+import "context"
+
+func do(ctx context.Context) error { return ctx.Err() }
+
+func MintedBackground() error {
+	return do(context.Background()) // want "context.Background minted in library code"
+}
+
+func MintedTODO() error {
+	return do(context.TODO()) // want "context.TODO minted in library code"
+}
+
+func DroppedParam(ctx context.Context, n int) int { // want "exported DroppedParam accepts ctx but never uses it"
+	return n * 2
+}
+
+// --- quiet shapes ---
+
+func NilGuardDefault(ctx context.Context) error {
+	if ctx == nil {
+		ctx = context.Background() // the sanctioned defaulting guard
+	}
+	return do(ctx)
+}
+
+func Propagates(ctx context.Context) error {
+	return do(ctx)
+}
+
+func ExplicitlyUnused(_ context.Context) int {
+	return 1 // a blank ctx is an honest signature, not a dropped promise
+}
+
+type hidden struct{}
+
+// methods on unexported types are not public surface.
+func (hidden) Convenience(ctx context.Context) int { return 0 }
+
+func dispatcherLifetime() error {
+	//amsvet:allow ctxflow dispatcher outlives any submitter ctx; router lifetime scopes it
+	return do(context.Background())
+}

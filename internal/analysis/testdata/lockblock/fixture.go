@@ -1,0 +1,128 @@
+// Package fixture seeds blocking operations inside mutex critical
+// sections — the PR-7 fsync-under-the-corpus-mutex bug class — plus the
+// shapes that must stay quiet: ops after the unlock, sync.Cond.Wait,
+// non-blocking selects, and the annotated stop-the-world section.
+//
+//amsvet:importpath ams/internal/fixture
+package fixture
+
+import (
+	"os"
+	"sync"
+	"time"
+)
+
+type state struct {
+	mu   sync.Mutex
+	rw   sync.RWMutex
+	cond *sync.Cond
+	ch   chan int
+	f    *os.File
+	wg   sync.WaitGroup
+	n    int
+}
+
+// --- seeded violations ---
+
+func sendUnderLock(s *state) {
+	s.mu.Lock()
+	s.ch <- 1 // want "channel send while mutex s.mu is held"
+	s.mu.Unlock()
+}
+
+func recvUnderDeferredLock(s *state) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return <-s.ch // want "channel receive while mutex s.mu is held"
+}
+
+func selectUnderLock(s *state) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select { // want "select without default while mutex s.mu is held"
+	case <-s.ch:
+	case s.ch <- 1:
+	}
+}
+
+func fsyncUnderLock(s *state) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.f.Sync() // want "journal fsync"
+}
+
+func waitUnderRLock(s *state) {
+	s.rw.RLock()
+	s.wg.Wait() // want "blocking WaitGroup.Wait call while mutex s.rw is held"
+	s.rw.RUnlock()
+}
+
+func sleepUnderLock(s *state) {
+	s.mu.Lock()
+	time.Sleep(time.Millisecond) // want "Sleep call while mutex s.mu is held"
+	s.mu.Unlock()
+}
+
+func rangeChanUnderLock(s *state) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for v := range s.ch { // want "range over channel while mutex s.mu is held"
+		s.n += v
+	}
+}
+
+// flushLocked runs under the caller's lock by naming convention.
+func flushLocked(s *state) error {
+	return s.f.Sync() // want "journal fsync \(os.File.Sync\) while mutex <caller's lock> is held"
+}
+
+// --- quiet shapes ---
+
+func afterUnlock(s *state) {
+	s.mu.Lock()
+	v := s.n
+	s.mu.Unlock()
+	s.ch <- v
+}
+
+func condWait(s *state) {
+	s.mu.Lock()
+	for s.n == 0 {
+		s.cond.Wait() // Cond.Wait releases the mutex while parked
+	}
+	s.mu.Unlock()
+}
+
+func nonBlockingSelect(s *state) {
+	s.mu.Lock()
+	select {
+	case s.ch <- s.n:
+	default:
+	}
+	s.mu.Unlock()
+}
+
+func branchUnlockThenBlock(s *state) {
+	s.mu.Lock()
+	if s.n > 0 {
+		s.mu.Unlock()
+		<-s.ch // this path released the lock first
+		return
+	}
+	s.mu.Unlock()
+}
+
+func spawnedGoroutine(s *state) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	go func() {
+		s.ch <- 1 // runs outside the caller's critical section
+	}()
+}
+
+func stopTheWorld(s *state) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	//amsvet:allow lockblock deliberate stop-the-world compaction, writers are fenced
+	return s.f.Sync()
+}

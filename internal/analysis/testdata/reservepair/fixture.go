@@ -1,0 +1,125 @@
+// Package fixture seeds violations of the reservepair invariant: every
+// Reserve result checked, every successful reserve paired with a
+// Release on its success path.
+//
+//amsvet:importpath ams/internal/fixture
+package fixture
+
+import "errors"
+
+var errBudget = errors.New("over budget")
+
+type acct struct{ used float64 }
+
+func (a *acct) Reserve(mb float64) bool { a.used += mb; return true }
+func (a *acct) Release(mb float64)      { a.used -= mb }
+
+func work() bool { return true }
+
+// --- seeded violations ---
+
+func discarded(a *acct) {
+	a.Reserve(5) // want "result of Reserve is discarded"
+}
+
+func blankAssigned(a *acct) {
+	_ = a.Reserve(5) // want "result of Reserve is assigned to _"
+}
+
+func storedButNeverChecked(a *acct) {
+	granted := a.Reserve(5) // want "result of Reserve is stored in granted but never checked"
+	_ = granted
+}
+
+func leakyEarlyReturn(a *acct) error {
+	if !a.Reserve(5) { // want "successful Reserve can return without Release"
+		return errBudget
+	}
+	if !work() {
+		return errBudget // the reservation is still held here
+	}
+	a.Release(5)
+	return nil
+}
+
+func neverReleased(a *acct) {
+	if a.Reserve(5) { // want "successful Reserve never reaches a Release"
+		work()
+	}
+}
+
+func initGuardLeak(a *acct) {
+	if ok := a.Reserve(5); ok { // want "successful Reserve never reaches a Release"
+		work()
+	}
+}
+
+// --- sanctioned shapes: no diagnostics ---
+
+// mustReserve is the panic-on-refusal wrapper; its callers release.
+func mustReserve(a *acct) {
+	if !a.Reserve(5) {
+		panic("over budget: policies only select models that fit")
+	}
+}
+
+// Reserve forwards the result, and with it the release obligation.
+type wrapped struct{ a *acct }
+
+func (w *wrapped) Reserve(mb float64) bool { return w.a.Reserve(mb) }
+
+func pairedInBranch(a *acct) {
+	if a.Reserve(5) {
+		work()
+		a.Release(5)
+	}
+}
+
+func pairedByDefer(a *acct) error {
+	if !a.Reserve(5) {
+		return errBudget
+	}
+	defer a.Release(5)
+	if !work() {
+		return errBudget // covered by the defer
+	}
+	return nil
+}
+
+func pairedAcrossGuard(a *acct) {
+	granted := a.Reserve(5)
+	if !granted {
+		return
+	}
+	work()
+	a.Release(5)
+}
+
+func conditionalPairing(a *acct, reservedMB float64) {
+	// The internal/batch shape: the reserve and the release share a
+	// flow-sensitive guard the analyzer cannot correlate; the optimistic
+	// join accepts the branch release.
+	if reservedMB > 0 {
+		if !a.Reserve(reservedMB) {
+			panic("over budget")
+		}
+	}
+	work()
+	if reservedMB > 0 {
+		a.Release(reservedMB)
+	}
+}
+
+func asyncRelease(a *acct) {
+	if a.Reserve(5) {
+		go func() {
+			work()
+			a.Release(5)
+		}()
+	}
+}
+
+func escapeHatch(a *acct) {
+	//amsvet:allow reservepair fixture exercising the reasoned escape hatch
+	a.Reserve(5)
+}

@@ -1,0 +1,42 @@
+// This fixture impersonates a simulated-execution package: raw stdlib
+// timers are violations, the vtime wheel and annotated wall-clock sites
+// are not.
+//
+//amsvet:importpath ams/internal/sim
+package sim
+
+import "time"
+
+type wheel struct{}
+
+func (w *wheel) Sleep(d time.Duration) {}
+
+func rawSleep() {
+	time.Sleep(time.Millisecond) // want "time.Sleep in simulated-execution package"
+}
+
+func rawAfter() {
+	<-time.After(time.Second) // want "time.After in simulated-execution package"
+}
+
+func rawTimer() *time.Timer {
+	return time.NewTimer(time.Second) // want "time.NewTimer in simulated-execution package"
+}
+
+func rawTicker() {
+	t := time.NewTicker(time.Second) // want "time.NewTicker in simulated-execution package"
+	t.Stop()
+}
+
+func wheelSleep(w *wheel) {
+	w.Sleep(time.Millisecond) // the sanctioned wrapper
+}
+
+func epochStamp() time.Time {
+	return time.Now() // reading the clock is not a pause
+}
+
+func drainTimeout() {
+	//amsvet:allow vtimesleep genuine wall-clock drain timeout, not simulated pacing
+	<-time.After(time.Second)
+}

@@ -1,0 +1,14 @@
+// The negative fixture: an identical raw sleep in a package outside the
+// simulated-execution set stays quiet — vtimesleep is scoped, not
+// global.
+//
+//amsvet:importpath ams/internal/corpus
+package corpus
+
+import "time"
+
+func wallClockFlusher() {
+	time.Sleep(time.Millisecond) // wall-clock package: no diagnostic
+	tick := time.NewTicker(time.Second)
+	tick.Stop()
+}

@@ -1,0 +1,86 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// simulatedPackages are the packages whose execution paths run on
+// simulated time: every pause in them must go through the
+// internal/vtime wheel so thousands of concurrent sub-millisecond
+// sleeps share one dispatcher and one armed OS timer. A raw stdlib
+// timer here reintroduces the per-flight timer churn PR 6 removed.
+// Genuine wall-clock sites (epoch stamps, drain timeouts) opt out per
+// line with //amsvet:allow vtimesleep <reason>.
+var simulatedPackages = map[string]bool{
+	"ams/internal/sim":   true,
+	"ams/internal/batch": true,
+	"ams/internal/serve": true,
+	"ams/internal/shard": true,
+}
+
+// timerFuncs are the package-level time functions that park a goroutine
+// or arm a per-call OS timer.
+var timerFuncs = map[string]bool{
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"NewTimer":  true,
+	"NewTicker": true,
+	"Tick":      true,
+}
+
+// VtimeSleep enforces the simulated-time discipline.
+var VtimeSleep = &Analyzer{
+	Name: "vtimesleep",
+	Doc: "In simulated-execution packages (internal/sim, internal/batch, " +
+		"internal/serve, internal/shard), pauses must run on the " +
+		"internal/vtime wheel, not raw time.Sleep/After/NewTimer: " +
+		"per-execution stdlib timers drown the runtime in timer churn at " +
+		"small TimeScale values, which is the bug the wheel was built to fix.",
+	Run: runVtimeSleep,
+}
+
+func runVtimeSleep(pass *Pass) error {
+	if !simulatedPackages[pass.Pkg.Path()] {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if isTestFile(pass, f) {
+			continue // tests may pace themselves on the wall clock
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if fn := calleeFunc(pass.Info, call); fn != nil &&
+				fn.Pkg() != nil && fn.Pkg().Path() == "time" && timerFuncs[fn.Name()] {
+				pass.Reportf(call.Pos(), "time.%s in simulated-execution package %s: pace on the internal/vtime wheel instead",
+					fn.Name(), pass.Pkg.Path())
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isTestFile reports whether f came from a _test.go file.
+func isTestFile(pass *Pass, f *ast.File) bool {
+	return strings.HasSuffix(pass.Fset.Position(f.Pos()).Filename, "_test.go")
+}
+
+// calleeFunc resolves the *types.Func a call invokes, or nil for calls
+// through function values, built-ins, and conversions.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = info.Uses[fun]
+	case *ast.SelectorExpr:
+		obj = info.Uses[fun.Sel]
+	}
+	fn, _ := obj.(*types.Func)
+	return fn
+}

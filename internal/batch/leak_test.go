@@ -1,0 +1,13 @@
+package batch
+
+import (
+	"testing"
+
+	"ams/internal/leaktest"
+)
+
+// TestMain fails the package when sealed-batch runners or lane hold
+// timers outlive the tests.
+func TestMain(m *testing.M) {
+	leaktest.VerifyTestMain(m)
+}

@@ -167,12 +167,12 @@ func Open(z *zoo.Zoo, path string, opts Options) (*Corpus, error) {
 	c.f = f
 	info, err := f.Stat()
 	if err != nil {
-		f.Close()
+		_ = f.Close()
 		return nil, fmt.Errorf("corpus: stat journal: %w", err)
 	}
 	if info.Size() == 0 {
 		if _, err := f.Write(header(journalMagic, journalVersion)); err != nil {
-			f.Close()
+			_ = f.Close()
 			return nil, fmt.Errorf("corpus: write journal header: %w", err)
 		}
 		c.journalBytes = headerLen
@@ -181,11 +181,11 @@ func Open(z *zoo.Zoo, path string, opts Options) (*Corpus, error) {
 	}
 	data, err := os.ReadFile(path)
 	if err != nil {
-		f.Close()
+		_ = f.Close()
 		return nil, fmt.Errorf("corpus: read journal: %w", err)
 	}
 	if err := checkHeader(data, journalMagic, journalVersion, "journal "+path); err != nil {
-		f.Close()
+		_ = f.Close()
 		return nil, err
 	}
 	recs, goodOffset := parseJournal(data[headerLen:])
@@ -196,12 +196,12 @@ func Open(z *zoo.Zoo, path string, opts Options) (*Corpus, error) {
 	if end < info.Size() {
 		// Torn tail: drop it so appended records start on a clean frame.
 		if err := f.Truncate(end); err != nil {
-			f.Close()
+			_ = f.Close()
 			return nil, fmt.Errorf("corpus: truncate torn journal tail: %w", err)
 		}
 	}
 	if _, err := f.Seek(end, 0); err != nil {
-		f.Close()
+		_ = f.Close()
 		return nil, fmt.Errorf("corpus: seek journal end: %w", err)
 	}
 	c.journalBytes = end
@@ -584,6 +584,7 @@ func (c *Corpus) Close() error {
 	close(c.space)
 	c.space = make(chan struct{})
 	err := c.err
+	f := c.f
 	c.mu.Unlock()
 	// Stop the group-commit flusher before the final sync. The closed
 	// flag fences out every writer, so the Sync below covers the whole
@@ -592,14 +593,18 @@ func (c *Corpus) Close() error {
 		close(c.flushStop)
 		<-c.flushDone
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if syncErr := c.f.Sync(); err == nil && syncErr != nil {
+	// The final fsync and close run outside c.mu: with the closed flag
+	// set and the flusher drained the file is quiescent, and holding the
+	// corpus mutex across disk latency is exactly the blocking-under-lock
+	// bug class the group-commit rework removed (amsvet: lockblock).
+	if syncErr := f.Sync(); err == nil && syncErr != nil {
 		err = fmt.Errorf("corpus: sync journal: %w", syncErr)
 	}
-	c.unsynced = 0
-	if closeErr := c.f.Close(); err == nil && closeErr != nil {
+	if closeErr := f.Close(); err == nil && closeErr != nil {
 		err = fmt.Errorf("corpus: close journal: %w", closeErr)
 	}
+	c.mu.Lock()
+	c.unsynced = 0
+	c.mu.Unlock()
 	return err
 }

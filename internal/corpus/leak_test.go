@@ -1,0 +1,13 @@
+package corpus
+
+import (
+	"testing"
+
+	"ams/internal/leaktest"
+)
+
+// TestMain fails the package when group-commit flushers or admission
+// waiters outlive the tests: Close must fence and drain both.
+func TestMain(m *testing.M) {
+	leaktest.VerifyTestMain(m)
+}

@@ -86,7 +86,7 @@ func OpenDir(z *zoo.Zoo, dir string, n int, opts Options) ([]*Corpus, error) {
 		if e != nil {
 			for _, s := range segs {
 				if s != nil {
-					s.Close()
+					_ = s.Close()
 				}
 			}
 			return nil, fmt.Errorf("corpus: segment %d: %w", i, e)

@@ -112,6 +112,7 @@ func (l *Lab) runBatchTrace(st *oracle.Store, agent *core.Agent, cfg serve.Confi
 	}
 	tickets := make([]*serve.Ticket, 0, items)
 	for i := 0; i < items; i++ {
+		//amsvet:allow ctxflow experiment harness drives the server to completion; no caller ctx exists
 		tk, err := srv.SubmitWait(context.Background(), i%st.NumScenes(), "")
 		if err != nil {
 			panic(err)

@@ -1,0 +1,97 @@
+// Package leaktest fails a package's tests when goroutines outlive the
+// test run: a leaked dispatcher, lane timer, or flusher is a bug in a
+// server whose whole point is bounded concurrency. It is a minimal,
+// dependency-free stand-in for go.uber.org/goleak (this module builds
+// offline and vendors nothing) with the same integration shape:
+//
+//	func TestMain(m *testing.M) { leaktest.VerifyTestMain(m) }
+//
+// After the package's tests pass, the goroutine dump is polled with
+// backoff (goroutines legitimately in teardown get time to exit); any
+// survivor that is not a known runtime/testing housekeeping goroutine
+// fails the run with its full stack.
+package leaktest
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// ignoredStacks mark goroutines the runtime and testing machinery keep
+// alive for the process's lifetime — never leaks.
+var ignoredStacks = []string{
+	"testing.Main(",
+	"testing.tRunner(",
+	"testing.(*M).",
+	"runtime.goexit",
+	"created by runtime.gc",
+	"created by runtime.createfing",
+	"runtime.MHeap_Scavenger",
+	"signal.signal_recv",
+	"sigterm.handler",
+	"runtime_mcall",
+	"(*loggingT).flushDaemon",
+	"goroutine in C code",
+	"runtime.CPUProfile",
+}
+
+// VerifyTestMain runs the package's tests, then fails the process if
+// goroutines leaked. Use from TestMain in goroutine-heavy packages.
+func VerifyTestMain(m *testing.M) {
+	code := m.Run()
+	if code == 0 {
+		if leaked := Check(5 * time.Second); leaked != "" {
+			fmt.Fprintf(os.Stderr, "leaktest: leaked goroutines after tests:\n%s\n", leaked)
+			code = 1
+		}
+	}
+	os.Exit(code)
+}
+
+// Check polls until no unexpected goroutines remain or the deadline
+// passes, returning the offending stacks ("" when clean). The backoff
+// matters: dispatchers and flushers wind down asynchronously after
+// Close returns, which is teardown, not a leak.
+func Check(deadline time.Duration) string {
+	var leaked []string
+	for end := time.Now().Add(deadline); ; {
+		leaked = interestingGoroutines()
+		if len(leaked) == 0 {
+			return ""
+		}
+		if time.Now().After(end) {
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	return strings.Join(leaked, "\n\n")
+}
+
+// interestingGoroutines returns the stacks of goroutines that are
+// neither the caller nor known housekeeping.
+func interestingGoroutines() []string {
+	buf := make([]byte, 2<<20)
+	buf = buf[:runtime.Stack(buf, true)]
+	var out []string
+	for _, g := range strings.Split(string(buf), "\n\n") {
+		header, rest, _ := strings.Cut(g, "\n")
+		if rest == "" || strings.Contains(header, "goroutine 1 ") {
+			continue // the main goroutine (running this check)
+		}
+		ignored := false
+		for _, marker := range ignoredStacks {
+			if strings.Contains(g, marker) {
+				ignored = true
+				break
+			}
+		}
+		if !ignored {
+			out = append(out, strings.TrimSpace(g))
+		}
+	}
+	return out
+}

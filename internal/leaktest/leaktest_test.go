@@ -1,0 +1,26 @@
+package leaktest
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestCheckReportsBlockedGoroutine(t *testing.T) {
+	release := make(chan struct{})
+	go func() { <-release }()
+	leaked := Check(200 * time.Millisecond)
+	if !strings.Contains(leaked, "leaktest.TestCheckReportsBlockedGoroutine") {
+		t.Fatalf("blocked goroutine not reported; got:\n%s", leaked)
+	}
+	close(release)
+	if leaked := Check(5 * time.Second); leaked != "" {
+		t.Fatalf("still leaked after release:\n%s", leaked)
+	}
+}
+
+func TestCheckCleanByDefault(t *testing.T) {
+	if leaked := Check(5 * time.Second); leaked != "" {
+		t.Fatalf("unexpected goroutines:\n%s", leaked)
+	}
+}

@@ -153,11 +153,21 @@ func (st *Store) SaveFile(path string) error {
 	if err != nil {
 		return fmt.Errorf("oracle: save store: %w", err)
 	}
-	defer f.Close()
 	if err := st.Save(f); err != nil {
+		_ = f.Close()
 		return err
 	}
-	return f.Close()
+	// A store that vanishes on power loss silently re-queries the oracle
+	// on the next run, so surface fsync and close failures to the caller
+	// instead of pretending the save landed.
+	if err := f.Sync(); err != nil {
+		_ = f.Close()
+		return fmt.Errorf("oracle: sync store: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("oracle: close store: %w", err)
+	}
+	return nil
 }
 
 // LoadFile reads a store from the named file.

@@ -1,0 +1,14 @@
+package serve
+
+import (
+	"testing"
+
+	"ams/internal/leaktest"
+)
+
+// TestMain fails the package when worker pools, batch lanes, or the
+// vtime dispatcher outlive the tests: this package's contract is that
+// Close drains everything it started.
+func TestMain(m *testing.M) {
+	leaktest.VerifyTestMain(m)
+}

@@ -1,0 +1,13 @@
+package shard
+
+import (
+	"testing"
+
+	"ams/internal/leaktest"
+)
+
+// TestMain fails the package when router dispatchers, steal loops, or
+// completion forwarders outlive the tests.
+func TestMain(m *testing.M) {
+	leaktest.VerifyTestMain(m)
+}

@@ -486,6 +486,7 @@ func (r *Router) run(s int, tk *Ticket, stolen bool) {
 		}
 		idx = i
 	}
+	//amsvet:allow ctxflow the dispatcher outlives any submitter ctx; Router.Close is its cancellation scope
 	in, err := r.servers[s].SubmitWait(context.Background(), idx, tk.tag)
 	if err != nil {
 		r.fail(s, tk, err)

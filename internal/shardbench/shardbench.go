@@ -197,6 +197,7 @@ func runShardTrace(sys *ams.System, agent *ams.Agent, m shardMode, res ShardingE
 				} else {
 					item = ext[i-i/4-1]
 				}
+				//amsvet:allow ctxflow benchmark clients run to completion; no caller ctx exists
 				tk, err := srv.SubmitWait(context.Background(), item)
 				if err != nil {
 					panic(err)
@@ -204,6 +205,7 @@ func runShardTrace(sys *ams.System, agent *ams.Agent, m shardMode, res ShardingE
 				tickets = append(tickets, tk)
 			}
 			for _, tk := range tickets {
+				//amsvet:allow ctxflow benchmark waits for every ticket; cancellation is not part of the measured path
 				if _, err := tk.Wait(context.Background()); err != nil {
 					panic(err)
 				}

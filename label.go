@@ -170,6 +170,7 @@ func (s *System) LabelRandom(ctx context.Context, item Item, b Budget, seed uint
 //
 // Deprecated: use Label with TestItem.
 func (s *System) LabelImage(agent *Agent, image int, b Budget) (*Result, error) {
+	//amsvet:allow ctxflow documented convenience wrapper: LabelImage is specified as Label with a Background ctx
 	return s.Label(context.Background(), agent, s.TestItem(image), b)
 }
 

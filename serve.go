@@ -573,6 +573,7 @@ func (sv *Server) routedItem(item Item) (shard.Item, error) {
 		it.Index = item.image
 	} else {
 		it.Resolve = func(sh int) (int, error) {
+			//amsvet:allow ctxflow resolution runs at dispatch time on the executing shard, after the submitter's ctx has already returned
 			return sv.shards[sh].resolve(context.Background(), item, true)
 		}
 	}
@@ -599,6 +600,7 @@ func (sv *Server) Submit(item Item) (*ServeTicket, error) {
 		return &ServeTicket{sys: sv.sys, item: item, rt: rt}, nil
 	}
 	sh := sv.shards[0]
+	//amsvet:allow ctxflow Submit is the non-blocking API: resolve uses TryAdmit, so this ctx is never waited on
 	idx, err := sh.resolve(context.Background(), item, false)
 	if err != nil {
 		return nil, err
