@@ -363,6 +363,55 @@ func BenchmarkServe1Worker(b *testing.B)  { benchmarkServe(b, 1) }
 func BenchmarkServe4Workers(b *testing.B) { benchmarkServe(b, 4) }
 func BenchmarkServe8Workers(b *testing.B) { benchmarkServe(b, 8) }
 
+// benchmarkServeTelemetry is benchmarkServe with the telemetry switch
+// exposed: the Uninstrumented/Instrumented pair measures what the obs
+// layer costs per item. CI asserts the two stay within noise of each
+// other; ReportAllocs pins the disabled path's zero-allocation promise
+// (every obs call no-ops on nil before touching a clock or the heap).
+func benchmarkServeTelemetry(b *testing.B, telemetry bool) {
+	sys, agent := serveBench(b)
+	srv, err := sys.NewServer(agent, ServeConfig{
+		Workers:     4,
+		DeadlineSec: 0.5,
+		MemoryGB:    16,
+		QueueCap:    16,
+		TimeScale:   1e-6,
+		Telemetry:   telemetry,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var next atomic.Int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			img := int(next.Add(1)) % sys.NumTestImages()
+			tk, err := srv.SubmitWait(context.Background(), sys.TestItem(img))
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			if _, err := tk.Wait(context.Background()); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+	b.StopTimer()
+	if err := srv.Close(); err != nil {
+		b.Fatal(err)
+	}
+	if telemetry {
+		if st := srv.Stats(); len(st.Telemetry) == 0 {
+			b.Fatal("instrumented run produced no telemetry")
+		}
+	}
+}
+
+func BenchmarkServeUninstrumented(b *testing.B) { benchmarkServeTelemetry(b, false) }
+func BenchmarkServeInstrumented(b *testing.B)   { benchmarkServeTelemetry(b, true) }
+
 // benchmarkServeBatching measures whole-trace throughput on the
 // memory-bound hot-model workload where cross-item batching is the
 // lever: a tight budget (one-ish footprint at a time), a short deadline

@@ -91,6 +91,8 @@ func main() {
 		placement = flag.String("placement", "hash", "shard placement policy: hash, least, or affinity")
 		steal     = flag.Bool("steal", false, "let an idle shard steal pending items from a loaded sibling")
 
+		metricsAddr = flag.String("metrics", "", "serve live telemetry over HTTP at this host:port while the trace runs: /metrics (Prometheus), /statusz (JSON), /tracez (decision traces), /debug/pprof")
+
 		rate     = flag.Int("rate", 4, "mean arrivals per simulated second (Poisson)")
 		items    = flag.Int("items", 200, "arrival trace length")
 		compare  = flag.Bool("compare", false, "also run the virtual-time simulation of the same workload")
@@ -146,6 +148,7 @@ func main() {
 		Shards:         *shards,
 		ShardPlacement: *placement,
 		ShardSteal:     *steal,
+		MetricsAddr:    *metricsAddr,
 	}
 	trace := ams.ServeTrace{ArrivalRateHz: float64(*rate), Items: *items, Seed: *seed}
 
@@ -193,7 +196,7 @@ func main() {
 		if err != nil {
 			log.Fatalf("amsserve: replay: %v", err)
 		}
-		printCorpus(corpus)
+		corpus.Stats().WriteSummary(os.Stdout)
 		if err := corpus.Close(); err != nil {
 			log.Fatalf("amsserve: %v", err)
 		}
@@ -211,27 +214,16 @@ func main() {
 
 	fmt.Printf("\nserving %d %s at %d/s with %d workers (policy %s, deadline %.2fs, mem %.1f GB, timescale %g)\n",
 		*items, kind, *rate, *workers, policy.Name(), *deadline, *memory, *timescale)
+	if *metricsAddr != "" {
+		fmt.Printf("telemetry: http://%s/metrics /statusz /tracez /debug/pprof\n", *metricsAddr)
+	}
 	real, err := sys.Serve(context.Background(), agent, cfg, trace, src)
 	if err != nil {
 		log.Fatalf("amsserve: %v", err)
 	}
-	printStats("real server", real)
-	if real.PeakMemMB > 0 {
-		fmt.Printf("  %-18s %8.0f MB (budget %.0f MB, %d blocked reservations)\n",
-			"peak GPU memory", real.PeakMemMB, *memory*1024, real.MemWaits)
-	}
-	if real.BatchedRequests > 0 {
-		fmt.Printf("  %-18s %8d requests in %d batches (largest %d)\n",
-			"batching", real.BatchedRequests, real.Batches, real.LargestBatch)
-		fmt.Printf("  %-18s %8.0f GPU-ms, %.0f MB of reservations\n",
-			"coalesced away", real.BatchSavedGPUMS, real.BatchSavedMemMB)
-	}
-	if hm := real.PredCacheHits + real.PredCacheMisses; hm > 0 {
-		fmt.Printf("  %-18s %8.1f %% hits (%d lookups, %d states cached)\n",
-			"predictor cache", 100*float64(real.PredCacheHits)/float64(hm), hm, real.PredCacheEntries)
-	}
+	real.WriteSummary(os.Stdout, "real server", *memory*1024)
 	if corpus != nil {
-		printCorpus(corpus)
+		corpus.Stats().WriteSummary(os.Stdout)
 		if err := corpus.Close(); err != nil {
 			log.Fatalf("amsserve: %v", err)
 		}
@@ -243,7 +235,7 @@ func main() {
 			log.Fatalf("amsserve: %v", err)
 		}
 		fmt.Println()
-		printStats("virtual-time sim", sim)
+		sim.WriteSummary(os.Stdout, "virtual-time sim", 0)
 	}
 }
 
@@ -254,48 +246,6 @@ func isDir(path string) bool {
 	return err == nil && info.IsDir()
 }
 
-// printCorpus summarizes retention: how many ingested items the corpus
-// tracks, how many still hold memory, and what the journal costs.
-func printCorpus(c *ams.Corpus) {
-	cs := c.Stats()
-	fmt.Printf("corpus:\n")
-	fmt.Printf("  %-18s %8d (%d committed)\n", "items", cs.Items, cs.Committed)
-	fmt.Printf("  %-18s %8d\n", "resident", cs.Resident)
-	fmt.Printf("  %-18s %8d\n", "evicted", cs.Evicted)
-	fmt.Printf("  %-18s %8d B in %d records (%d snapshots, %d segments)\n",
-		"journal", cs.JournalBytes, cs.JournalRecords, cs.Snapshots, cs.Segments)
-	if cs.Syncs > 0 || cs.Unsynced > 0 {
-		fmt.Printf("  %-18s %8d group commits (%d records unsynced)\n", "fsync", cs.Syncs, cs.Unsynced)
-	}
-}
-
-func printStats(name string, s ams.ServeStats) {
-	fmt.Printf("%s:\n", name)
-	fmt.Printf("  %-18s %8d\n", "items", s.Items)
-	fmt.Printf("  %-18s %8.3f s\n", "avg queue wait", s.AvgQueueWaitSec)
-	fmt.Printf("  %-18s %8.3f s\n", "avg latency", s.AvgLatencySec)
-	fmt.Printf("  %-18s %8.3f s\n", "p95 latency", s.P95LatencySec)
-	if s.RecallItems > 0 {
-		fmt.Printf("  %-18s %8.3f (over %d ground-truth items)\n", "avg recall", s.AvgRecall, s.RecallItems)
-	} else {
-		fmt.Printf("  %-18s %8s (external items: no ground truth)\n", "avg recall", "n/a")
-	}
-	fmt.Printf("  %-18s %8.2f /s\n", "throughput", s.ThroughputHz)
-	fmt.Printf("  %-18s %8.1f %%\n", "utilization", 100*s.Utilization)
-	fmt.Printf("  %-18s %8.2f s\n", "horizon", s.HorizonSec)
-	// Shedding counters: admissions refused by the bounded queue and
-	// Results-stream entries dropped behind a lagging consumer.
-	fmt.Printf("  %-18s %8d rejected, %d results dropped\n", "shedding", s.Rejected, s.ResultsDropped)
-	if s.AvgSelectSec > 0 {
-		// Real (unscaled) CPU time inside the policy per item — the
-		// paper's Table III selection overhead.
-		fmt.Printf("  %-18s %8.3f ms (real, unscaled)\n", "avg select/item", s.AvgSelectSec*1000)
-	}
-	if s.Shards > 1 {
-		fmt.Printf("  %-18s %8d shards, %d steals\n", "sharding", s.Shards, s.Steals)
-		for _, ps := range s.PerShard {
-			fmt.Printf("    shard %d: %d items, %.2f /s, %.1f %% util, %d assigned, %d stolen-in, %d stolen-out, %d shed\n",
-				ps.Shard, ps.Items, ps.ThroughputHz, 100*ps.Utilization, ps.Assigned, ps.Steals, ps.StolenFrom, ps.Rejected)
-		}
-	}
-}
+// The summary itself renders through the shared
+// ams.ServeStats.WriteSummary / ams.CorpusStats.WriteSummary, so this
+// binary and examples/labelserver report identical runs identically.

@@ -54,6 +54,7 @@ func main() {
 	journal := flag.String("journal", "", "write-ahead journal path: makes ingestion durable and crash-recoverable")
 	replay := flag.Bool("replay", false, "recover the -journal corpus from a previous (possibly killed) run and exit")
 	shards := flag.Int("shards", 0, "split the server into this many shards (affinity-routed, work-stealing); with -journal the path becomes a directory of per-shard segments")
+	metrics := flag.String("metrics", "", "serve live telemetry over HTTP at this host:port (\":0\" picks a free port): /metrics, /statusz, /tracez, /debug/pprof")
 	flag.Parse()
 	if *replay && *journal == "" {
 		log.Fatal("labelserver: -replay requires -journal")
@@ -81,6 +82,7 @@ func main() {
 		MemoryGB:    6,
 		QueueCap:    8,
 		TimeScale:   *timescale,
+		MetricsAddr: *metrics,
 	}
 	if *shards > 1 {
 		// Sharded mode: each shard gets its own worker slice, memory
@@ -133,6 +135,9 @@ func main() {
 	srv, err := sys.NewServer(agent, cfg)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if addr := srv.MetricsAddr(); addr != "" {
+		fmt.Printf("telemetry: http://%s/metrics /statusz /tracez /debug/pprof\n", addr)
 	}
 
 	// Subscribe to the completion stream BEFORE submitting: results are
@@ -197,23 +202,12 @@ func main() {
 	}
 	<-consumed // the results channel closes once the server drains
 
-	s := srv.Stats()
-	fmt.Printf("\n%d items served: avg latency %.3fs (p95 %.3fs), throughput %.1f/s\n",
-		s.Items, s.AvgLatencySec, s.P95LatencySec, s.ThroughputHz)
-	fmt.Printf("recall %.2f over the %d ground-truth-backed items\n", s.AvgRecall, s.RecallItems)
-	fmt.Printf("peak GPU memory %0.f MB of the %0.f MB budget (%d executions waited)\n",
-		s.PeakMemMB, 6.0*1024, s.MemWaits)
-	if s.Shards > 1 {
-		fmt.Printf("%d shards, %d steals:\n", s.Shards, s.Steals)
-		for _, ps := range s.PerShard {
-			fmt.Printf("  shard %d: %d items, %.0f%% utilized, %d stolen in\n",
-				ps.Shard, ps.Items, 100*ps.Utilization, ps.Steals)
-		}
-	}
+	// The same renderer cmd/amsserve uses, so both binaries report a run
+	// in one format.
+	fmt.Println()
+	srv.Stats().WriteSummary(os.Stdout, "server", 6*1024)
 	if corpus != nil {
-		cs := corpus.Stats()
-		fmt.Printf("corpus: %d items (%d committed), %d resident, %d evicted, %d journal bytes\n",
-			cs.Items, cs.Committed, cs.Resident, cs.Evicted, cs.JournalBytes)
+		corpus.Stats().WriteSummary(os.Stdout)
 		if err := corpus.Close(); err != nil {
 			log.Fatal(err)
 		}

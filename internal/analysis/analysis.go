@@ -15,6 +15,11 @@
 //   - ctxflow: library code propagates the caller's context.Context
 //     instead of minting context.Background, and never drops a ctx
 //     parameter on the floor.
+//   - obsclean: metric names at Registry registration sites are
+//     compile-time constants (variance belongs in labels, not names),
+//     and simulated-execution packages measure real spans through the
+//     obs seam instead of raw time.Since (the PR-9 instrumentation
+//     discipline: wall and simulated clocks must stay distinguishable).
 //
 // The framework mirrors golang.org/x/tools/go/analysis (Analyzer, Pass,
 // Diagnostic) but is self-contained on the standard library's go/ast and
@@ -88,6 +93,7 @@ func All() []*Analyzer {
 		VtimeSleep,
 		LockBlock,
 		CtxFlow,
+		Obsclean,
 	}
 }
 

@@ -22,6 +22,16 @@ func TestVtimeSleepOutOfScope(t *testing.T) {
 	analysistest.Run(t, "testdata/vtimesleep_out", analysis.VtimeSleep)
 }
 
+func TestObsclean(t *testing.T) {
+	analysistest.Run(t, "testdata/obsclean", analysis.Obsclean)
+}
+
+// TestObscleanOutOfScope proves the time.Since rule is scoped to
+// simulated-execution packages while the constant-name rule is global.
+func TestObscleanOutOfScope(t *testing.T) {
+	analysistest.Run(t, "testdata/obsclean_out", analysis.Obsclean)
+}
+
 func TestLockBlock(t *testing.T) {
 	analysistest.Run(t, "testdata/lockblock", analysis.LockBlock)
 }

@@ -1,0 +1,22 @@
+// Scope check: in a wall-clock package raw time.Since is fine — only
+// the constant-name rule applies everywhere.
+//
+//amsvet:importpath ams/internal/corpus
+package corpus
+
+import (
+	"fmt"
+	"time"
+)
+
+type Registry struct{}
+
+func (r *Registry) Counter(name, help string, labels ...string) {}
+
+func wallSpan(t0 time.Time) float64 {
+	return time.Since(t0).Seconds() // wall-clock package: no diagnostic
+}
+
+func stillChecked(r *Registry, seg int) {
+	r.Counter(fmt.Sprintf("ams_seg_%d", seg), "per-segment") // want "not a compile-time constant"
+}

@@ -57,6 +57,9 @@ type Config struct {
 	// TimeScale converts simulated milliseconds to real ones (the
 	// server's Config.TimeScale).
 	TimeScale float64
+	// Metrics, when non-nil, receives batch-size, hold-span and
+	// flush-cause observations. Nil disables instrumentation entirely.
+	Metrics *Metrics
 }
 
 // Stats counts the runtime's activity. SavedGPUMS is the simulated GPU
@@ -82,10 +85,11 @@ type request struct {
 
 // lane collects one model's pending requests until a flush seals them.
 type lane struct {
-	mu     sync.Mutex
-	gen    uint64 // bumped at each seal; stale hold timers check it
-	reqs   []request
-	queued atomic.Int64 // lock-free mirror of len(reqs) for Queued
+	mu        sync.Mutex
+	gen       uint64 // bumped at each seal; stale hold timers check it
+	reqs      []request
+	queued    atomic.Int64 // lock-free mirror of len(reqs) for Queued
+	heldSince time.Time    // wall stamp of the oldest unsealed request (metrics only)
 }
 
 // Batcher is the coalescing runtime. Create one with New; it shares the
@@ -133,6 +137,9 @@ func (b *Batcher) Enqueue(m int, owned bool, done chan struct{}) {
 	ln.mu.Lock()
 	ln.reqs = append(ln.reqs, request{done: done, owned: owned})
 	ln.queued.Add(1)
+	if len(ln.reqs) == 1 {
+		ln.heldSince = b.cfg.Metrics.holdStart()
+	}
 	switch {
 	case len(ln.reqs) >= b.cfg.MaxBatch:
 		b.seal(m, ln, true)
@@ -177,6 +184,8 @@ func (b *Batcher) seal(m int, ln *lane, sizeFlush bool) {
 	ln.reqs = nil
 	ln.gen++
 	ln.queued.Add(int64(-len(reqs)))
+	b.cfg.Metrics.sealed(len(reqs), sizeFlush, ln.heldSince, b.cfg.TimeScale)
+	ln.heldSince = time.Time{}
 	go b.run(m, reqs, sizeFlush)
 }
 

@@ -118,6 +118,8 @@ type Corpus struct {
 	syncReq   chan struct{} // capacity 1: nudges the flusher at SyncEveryN
 	flushStop chan struct{}
 	flushDone chan struct{}
+
+	metrics *Metrics // durability telemetry; nil disables (see SetMetrics)
 }
 
 // Stats is a point-in-time summary of the corpus.
@@ -256,8 +258,11 @@ func (c *Corpus) syncJournal() {
 	}
 	pending := c.unsynced
 	f := c.f
+	m := c.metrics
 	c.mu.Unlock()
+	t0 := m.fsyncStart()
 	err := f.Sync()
+	m.fsyncDone(t0)
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if err != nil {
@@ -499,6 +504,7 @@ func (c *Corpus) ReclaimCommitted() {
 // Failures stick: a corpus that cannot journal refuses further
 // admissions rather than silently degrading to memory-only.
 func (c *Corpus) writeRecord(rec *record) error {
+	t0 := c.metrics.appendStart()
 	frame, err := encodeRecord(rec)
 	if err == nil {
 		_, err = c.f.Write(frame)
@@ -507,6 +513,7 @@ func (c *Corpus) writeRecord(rec *record) error {
 		c.err = fmt.Errorf("corpus: journal write: %w", err)
 		return c.err
 	}
+	c.metrics.appendDone(t0)
 	c.journalBytes += int64(len(frame))
 	c.journalRecords++
 	c.unsynced++

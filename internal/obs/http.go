@@ -1,0 +1,99 @@
+package obs
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"time"
+)
+
+// Exporter is the opt-in HTTP exposition surface:
+//
+//	/metrics          Prometheus text format
+//	/statusz          JSON: caller-supplied status plus a full snapshot
+//	/tracez           JSON: recent decision traces (?n=, ?tag=)
+//	/debug/pprof/...  the standard runtime profiles
+//
+// It owns one listener and one serve goroutine; Close shuts both down
+// and does not return until the serve goroutine has exited, so a server
+// embedding an Exporter stays leak-test clean.
+type Exporter struct {
+	ln   net.Listener
+	srv  *http.Server
+	done chan struct{}
+}
+
+// NewExporter binds addr (host:port; :0 picks a free port) and starts
+// serving. statusz, when non-nil, supplies the /statusz payload's
+// "status" section and is called per request.
+func NewExporter(addr string, reg *Registry, tr *Tracer, statusz func() any) (*Exporter, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/statusz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		payload := struct {
+			Status  any      `json:"status,omitempty"`
+			Metrics []Metric `json:"metrics"`
+		}{Metrics: reg.Snapshot()}
+		if statusz != nil {
+			payload.Status = statusz()
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(payload)
+	})
+	mux.HandleFunc("/tracez", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		n := 32
+		if q := r.URL.Query().Get("n"); q != "" {
+			if v, err := strconv.Atoi(q); err == nil && v > 0 {
+				n = v
+			}
+		}
+		_ = tr.WriteJSON(w, n, r.URL.Query().Get("tag"))
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	e := &Exporter{
+		ln:   ln,
+		srv:  &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second},
+		done: make(chan struct{}),
+	}
+	go func() {
+		defer close(e.done)
+		_ = e.srv.Serve(ln) // returns once Close tears the listener down
+	}()
+	return e, nil
+}
+
+// Addr reports the bound address (useful with ":0").
+func (e *Exporter) Addr() string {
+	if e == nil {
+		return ""
+	}
+	return e.ln.Addr().String()
+}
+
+// Close stops the listener, closes any active connections, and waits
+// for the serve goroutine to exit. Safe on nil and idempotent.
+func (e *Exporter) Close() error {
+	if e == nil {
+		return nil
+	}
+	err := e.srv.Close()
+	<-e.done
+	return err
+}

@@ -1,0 +1,13 @@
+package obs
+
+import (
+	"testing"
+
+	"ams/internal/leaktest"
+)
+
+// TestMain fails the package if any test — the exporter's HTTP serving
+// in particular — leaks goroutines past its Close.
+func TestMain(m *testing.M) {
+	leaktest.VerifyTestMain(m)
+}

@@ -1,0 +1,169 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// maxTraceEvents bounds one item's event list so a pathological
+// schedule (many memory stalls) cannot grow a trace without limit;
+// overflow is counted, not silently dropped.
+const maxTraceEvents = 64
+
+// Trace event kinds. The serve layer records these around — never
+// inside — the policy, so tracing can't perturb scheduling.
+const (
+	TraceSelected = "selected"            // policy picked a model
+	TraceSkipped  = "skipped-over-budget" // policy declined with work remaining
+	TraceMemStall = "mem-stall"           // waiting for memory to free before retrying
+	TraceBatched  = "deferred-to-batch"   // execution handed to a batch lane
+	TraceExec     = "exec"                // direct (unbatched) execution
+	TraceCommit   = "commit"              // schedule finalized
+)
+
+// A TraceEvent is one structured scheduling decision with the
+// constraint values the policy saw at decision time.
+type TraceEvent struct {
+	Kind        string  `json:"kind"`
+	Model       int     `json:"model"`            // -1 when not model-specific
+	RemainingMS float64 `json:"remaining_ms"`     // deadline budget left
+	AvailMemMB  float64 `json:"avail_mem_mb"`     // accountant headroom
+	Queued      int     `json:"queued,omitempty"` // batch-lane occupancy
+	Note        string  `json:"note,omitempty"`   // e.g. "deadline", "memory"
+}
+
+// An ItemTrace accumulates one item's decision events. It is built by a
+// single worker goroutine and published to the Tracer's ring at finish;
+// a nil ItemTrace (tracing disabled) no-ops every method.
+type ItemTrace struct {
+	Item    int          `json:"item"`
+	Tag     string       `json:"tag,omitempty"`
+	Seq     int64        `json:"seq"`
+	Events  []TraceEvent `json:"events"`
+	Dropped int          `json:"dropped_events,omitempty"`
+}
+
+// Add appends one event (no-op on nil; counts overflow past the cap).
+func (t *ItemTrace) Add(ev TraceEvent) {
+	if t == nil {
+		return
+	}
+	if len(t.Events) >= maxTraceEvents {
+		t.Dropped++
+		return
+	}
+	t.Events = append(t.Events, ev)
+}
+
+// Tracer is a bounded ring of completed item traces. Begin hands out a
+// fresh ItemTrace, End publishes it; the ring keeps the most recent
+// `capacity` traces for /tracez and per-ticket retrieval. A nil Tracer
+// no-ops everything and Begins nil ItemTraces.
+type Tracer struct {
+	mu    sync.Mutex
+	ring  []ItemTrace
+	next  int
+	seq   int64
+	total int64
+}
+
+// NewTracer returns a tracer retaining the most recent capacity traces
+// (a small default is applied when capacity is not positive).
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = 256
+	}
+	return &Tracer{ring: make([]ItemTrace, 0, capacity)}
+}
+
+// Begin starts a trace for one item (nil when the tracer is nil).
+func (t *Tracer) Begin(item int, tag string) *ItemTrace {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	t.seq++
+	seq := t.seq
+	t.mu.Unlock()
+	return &ItemTrace{Item: item, Tag: tag, Seq: seq, Events: make([]TraceEvent, 0, 8)}
+}
+
+// End publishes a completed trace into the ring (no-op when either side
+// is nil).
+func (t *Tracer) End(tr *ItemTrace) {
+	if t == nil || tr == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.total++
+	if len(t.ring) < cap(t.ring) {
+		t.ring = append(t.ring, *tr)
+		return
+	}
+	t.ring[t.next] = *tr
+	t.next = (t.next + 1) % len(t.ring)
+}
+
+// Total reports how many traces have been published over the tracer's
+// lifetime (not just those still resident).
+func (t *Tracer) Total() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total
+}
+
+// Recent returns up to n resident traces, newest first.
+func (t *Tracer) Recent(n int) []ItemTrace {
+	if t == nil || n <= 0 {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]ItemTrace, 0, min(n, len(t.ring)))
+	for i := 0; i < len(t.ring) && len(out) < n; i++ {
+		// Walk backwards from the most recently written slot.
+		idx := (t.next - 1 - i + 2*len(t.ring)) % len(t.ring)
+		out = append(out, t.ring[idx])
+	}
+	return out
+}
+
+// ByTag returns the most recent resident trace carrying tag.
+func (t *Tracer) ByTag(tag string) (ItemTrace, bool) {
+	if t == nil {
+		return ItemTrace{}, false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for i := 0; i < len(t.ring); i++ {
+		idx := (t.next - 1 - i + 2*len(t.ring)) % len(t.ring)
+		if t.ring[idx].Tag == tag {
+			return t.ring[idx], true
+		}
+	}
+	return ItemTrace{}, false
+}
+
+// WriteJSON dumps up to n recent traces (optionally filtered to one
+// tag) as an indented JSON array — the /tracez payload.
+func (t *Tracer) WriteJSON(w io.Writer, n int, tag string) error {
+	var traces []ItemTrace
+	if tag != "" {
+		if tr, ok := t.ByTag(tag); ok {
+			traces = []ItemTrace{tr}
+		}
+	} else {
+		traces = t.Recent(n)
+	}
+	if traces == nil {
+		traces = []ItemTrace{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(traces)
+}

@@ -3,6 +3,9 @@ package serve
 import (
 	"fmt"
 	"sync"
+	"time"
+
+	"ams/internal/obs"
 )
 
 // accountant is the shared GPU-memory budget of Algorithm 2, lifted from
@@ -19,6 +22,12 @@ type accountant struct {
 	usedMB   float64
 	peakMB   float64
 	waits    int64 // reservations that had to block at least once
+
+	// waitHist, when non-nil, receives the real seconds each blocked
+	// reservation (or selection retry) spent waiting — the server's
+	// memory-stall latency. Set once at construction, before any worker
+	// runs.
+	waitHist *obs.Histogram
 }
 
 func newAccountant(budgetMB float64) *accountant {
@@ -37,13 +46,16 @@ func (a *accountant) reserve(mb float64) bool {
 		return false
 	}
 	waited := false
+	var t0 time.Time
 	for a.usedMB+mb > a.budgetMB+1e-9 {
 		if !waited {
 			waited = true
 			a.waits++
+			t0 = obs.Started(a.waitHist)
 		}
 		a.cond.Wait()
 	}
+	a.waitHist.ObserveSince(t0) // no-op unless the reservation blocked
 	a.usedMB += mb
 	if a.usedMB > a.peakMB {
 		a.peakMB = a.usedMB
@@ -88,13 +100,16 @@ func (a *accountant) awaitMore(observedMB float64) bool {
 		return false
 	}
 	waited := false
+	var t0 time.Time
 	for a.budgetMB-a.usedMB <= observedMB+1e-9 {
 		if !waited {
 			waited = true
 			a.waits++
+			t0 = obs.Started(a.waitHist)
 		}
 		a.cond.Wait()
 	}
+	a.waitHist.ObserveSince(t0) // no-op unless the retry blocked
 	return true
 }
 

@@ -74,6 +74,7 @@ import (
 	"time"
 
 	"ams/internal/batch"
+	"ams/internal/obs"
 	"ams/internal/oracle"
 	"ams/internal/service"
 	"ams/internal/sim"
@@ -153,6 +154,18 @@ type Config struct {
 	// of one logical server share an epoch so their records merge into
 	// one coherent summary; zero means "now".
 	Epoch time.Time
+
+	// Metrics, when non-nil, receives per-stage telemetry (see
+	// NewMetrics). Instruments only count and measure — they never feed
+	// back into scheduling — so an instrumented server's schedules are
+	// bit-identical to an uninstrumented one's. Nil disables the layer:
+	// every hook degrades to one nil check.
+	Metrics *Metrics
+
+	// Tracer, when non-nil, records a bounded structured decision trace
+	// per item (selection, budget skips, memory stalls, batching,
+	// commit) retrievable by ticket tag. Nil disables tracing.
+	Tracer *obs.Tracer
 }
 
 // Corpus is the narrow contract a durable ingestion corpus exposes to
@@ -298,6 +311,9 @@ func New(ex oracle.Executor, factory service.PolicyFactory, cfg Config) (*Server
 				cfg.MemoryBudgetMB, smallest)
 		}
 		acct = newAccountant(cfg.MemoryBudgetMB)
+		if cfg.Metrics != nil {
+			acct.waitHist = cfg.Metrics.ReserveWait
+		}
 	}
 	if cfg.BatchSize < 0 {
 		return nil, fmt.Errorf("serve: negative batch size %d", cfg.BatchSize)
@@ -332,10 +348,15 @@ func New(ex oracle.Executor, factory service.PolicyFactory, cfg Config) (*Server
 		if acct != nil {
 			mem = acctMemory{acct}
 		}
+		var bm *batch.Metrics
+		if cfg.Metrics != nil {
+			bm = cfg.Metrics.Batch
+		}
 		s.batcher = batch.New(models, mem, s.wheel, batch.Config{
 			MaxBatch:  cfg.BatchSize,
 			MaxHoldMS: cfg.BatchHoldMS,
 			TimeScale: cfg.TimeScale,
+			Metrics:   bm,
 		})
 	}
 	for w := 0; w < cfg.Workers; w++ {
@@ -369,10 +390,12 @@ func (s *Server) Submit(item int, tag string) (*Ticket, error) {
 	select {
 	case s.queue <- tk:
 		s.mu.Unlock()
+		s.cfg.Metrics.admitted()
 		return tk, nil
 	default:
 		s.rejected++
 		s.mu.Unlock()
+		s.cfg.Metrics.shed()
 		s.abortItem(item)
 		return nil, ErrQueueFull
 	}
@@ -410,6 +433,7 @@ func (s *Server) SubmitWait(ctx context.Context, item int, tag string) (*Ticket,
 	defer s.senders.Done()
 	select {
 	case s.queue <- tk:
+		s.cfg.Metrics.admitted()
 		return tk, nil
 	case <-s.stop:
 		s.abortItem(item)
@@ -586,6 +610,7 @@ func checkSelection(policy sim.Policy, m int, mod *zoo.Model, c sim.Constraints)
 // pauses the schedule until a release frees headroom.
 func (s *Server) process(policy sim.Policy, tk *Ticket) {
 	startWall := time.Now()
+	trace := s.cfg.Tracer.Begin(tk.image, tk.tag)
 	policy.Reset(tk.image)
 	tr := oracle.NewTracker(s.ex, tk.image)
 	remaining := s.cfg.DeadlineSec * 1000
@@ -602,25 +627,36 @@ func (s *Server) process(policy sim.Policy, tk *Ticket) {
 			// field means "unconstrained" to the policy. Treat it as
 			// the fully-stalled case instead.
 			if s.memStalled(tr, remaining, 0) && s.acct.awaitMore(0) {
+				trace.Add(obs.TraceEvent{Kind: obs.TraceMemStall, Model: -1,
+					RemainingMS: remaining, AvailMemMB: 0})
 				continue
 			}
 			break
 		}
 		t0 := time.Now()
 		m := policy.Next(tr, c)
-		selectSec += time.Since(t0).Seconds()
+		selectSec += obs.SinceSeconds(t0)
 		if m < 0 {
 			// Retry only when the decline can be blamed on memory that
 			// concurrent items hold right now; a final decline (out of
 			// time, out of candidates) ends the schedule immediately.
 			if s.memStalled(tr, remaining, c.AvailMemMB) && s.acct.awaitMore(c.AvailMemMB) {
+				trace.Add(obs.TraceEvent{Kind: obs.TraceMemStall, Model: -1,
+					RemainingMS: remaining, AvailMemMB: c.AvailMemMB, Note: "memory"})
 				continue
+			}
+			if trace != nil && len(tr.Unexecuted()) > 0 {
+				trace.Add(obs.TraceEvent{Kind: obs.TraceSkipped, Model: -1,
+					RemainingMS: remaining, AvailMemMB: c.AvailMemMB,
+					Note: "declined with models unexecuted"})
 			}
 			break
 		}
 		mod := s.ex.Model(m)
 		checkSelection(policy, m, mod, c)
-		s.executeSerial(policy, m, mod)
+		trace.Add(obs.TraceEvent{Kind: obs.TraceSelected, Model: m,
+			RemainingMS: remaining, AvailMemMB: c.AvailMemMB})
+		s.executeSerial(policy, m, mod, trace)
 		tr.Execute(m)
 		out := s.ex.Output(tk.image, m)
 		policy.Observe(m, out)
@@ -629,20 +665,57 @@ func (s *Server) process(policy sim.Policy, tk *Ticket) {
 		schedMS += mod.TimeMS
 		remaining -= mod.TimeMS
 	}
-	s.finish(tk, startWall, executed, outputs, schedMS, selectSec, tr.Recall(), tr.HasTruth())
+	trace.Add(obs.TraceEvent{Kind: obs.TraceCommit, Model: -1, RemainingMS: remaining})
+	s.observeQuality(policy, tr, outputs)
+	s.finish(tk, startWall, executed, outputs, schedMS, selectSec, tr.Recall(), tr.HasTruth(), trace)
+}
+
+// residualValuer is implemented by the predictor-backed policies
+// (internal/sched): the agent's estimate of the value still available
+// for an item given its executed-set state. Used only for the quality
+// proxy metric — reading a prediction never alters scheduling state, so
+// bit-identity holds.
+type residualValuer interface {
+	ResidualValue(tr *oracle.Tracker) float64
+}
+
+// observeQuality records the ground-truth-free quality proxy on
+// ingested traffic (items with no ground truth, hence no recall): the
+// valuable-label confidence mass the schedule banked against the
+// agent's predicted residual value at schedule end. Runs only when
+// telemetry is enabled.
+func (s *Server) observeQuality(policy sim.Policy, tr *oracle.Tracker, outputs []zoo.Output) {
+	if s.cfg.Metrics == nil || tr.HasTruth() {
+		return
+	}
+	mass := 0.0
+	for _, out := range outputs {
+		mass += out.Value(zoo.ValuableThreshold)
+	}
+	residual := 0.0
+	if rv, ok := policy.(residualValuer); ok {
+		residual = rv.ResidualValue(tr)
+	}
+	s.cfg.Metrics.quality(mass, residual)
 }
 
 // executeSerial runs one model for a serially scheduled item: through
 // the batching runtime when batching is on (the batch owns the item's
 // footprint reservation — that is the coalescing), directly on the
 // timer wheel otherwise.
-func (s *Server) executeSerial(policy sim.Policy, m int, mod *zoo.Model) {
+func (s *Server) executeSerial(policy sim.Policy, m int, mod *zoo.Model, trace *obs.ItemTrace) {
+	t0 := s.cfg.Metrics.execStart(m)
 	if s.batcher != nil {
+		if trace != nil {
+			trace.Add(obs.TraceEvent{Kind: obs.TraceBatched, Model: m, Queued: s.batcher.Queued(m)})
+		}
 		done := make(chan struct{})
 		s.batcher.Enqueue(m, s.acct != nil, done)
 		<-done
+		s.cfg.Metrics.execDone(m, t0, s.cfg.TimeScale)
 		return
 	}
+	trace.Add(obs.TraceEvent{Kind: obs.TraceExec, Model: m})
 	if s.acct != nil {
 		// Another worker may have claimed the observed headroom in the
 		// meantime; reserve blocks until the footprint fits again.
@@ -652,6 +725,7 @@ func (s *Server) executeSerial(policy sim.Policy, m int, mod *zoo.Model) {
 	if s.acct != nil {
 		s.acct.release(mod.MemMB)
 	}
+	s.cfg.Metrics.execDone(m, t0, s.cfg.TimeScale)
 }
 
 // mustReserve claims a model's footprint, panicking when the accountant
@@ -678,6 +752,7 @@ type parallelFlight struct {
 	model    int
 	finishMS float64       // nominal finish on the item's schedule clock
 	done     chan struct{} // closed when the scaled sleep has elapsed
+	started  time.Time     // metrics stamp at launch (zero when disabled)
 }
 
 // flightHas reports whether model m is in the in-flight set.
@@ -712,6 +787,7 @@ func (s *Server) launch(m int, mod *zoo.Model, done chan struct{}) {
 // item therefore reproduces the sim.RunParallel schedule bit for bit.
 func (s *Server) processParallel(policy sim.Policy, tk *Ticket) {
 	startWall := time.Now()
+	trace := s.cfg.Tracer.Begin(tk.image, tk.tag)
 	policy.Reset(tk.image)
 	tr := oracle.NewTracker(s.ex, tk.image)
 	deadlineMS := s.cfg.DeadlineSec * 1000
@@ -740,13 +816,20 @@ func (s *Server) processParallel(policy sim.Policy, tk *Ticket) {
 			}
 			t0 := time.Now()
 			m := policy.Next(tr, c)
-			selectSec += time.Since(t0).Seconds()
+			selectSec += obs.SinceSeconds(t0)
 			if m < 0 {
 				stalledAt = c.AvailMemMB
+				if trace != nil && len(tr.Unexecuted()) > len(inFly) {
+					trace.Add(obs.TraceEvent{Kind: obs.TraceSkipped, Model: -1,
+						RemainingMS: remaining, AvailMemMB: c.AvailMemMB,
+						Note: "declined with models unexecuted"})
+				}
 				break
 			}
 			mod := s.ex.Model(m)
 			checkSelection(policy, m, mod, c)
+			trace.Add(obs.TraceEvent{Kind: obs.TraceSelected, Model: m,
+				RemainingMS: remaining, AvailMemMB: c.AvailMemMB})
 			// The double-launch contract of sim.RunParallel: an in-flight
 			// model's output is not visible yet, so a policy that returns
 			// it again is reading state it was told to track itself.
@@ -762,7 +845,11 @@ func (s *Server) processParallel(policy sim.Policy, tk *Ticket) {
 			// reservation), and its releases wake the blocked one — a
 			// selection always fits the budget minus its own holdings.
 			s.mustReserve(policy, m, mod)
-			f := parallelFlight{model: m, finishMS: nowMS + mod.TimeMS, done: make(chan struct{})}
+			f := parallelFlight{model: m, finishMS: nowMS + mod.TimeMS,
+				done: make(chan struct{}), started: s.cfg.Metrics.execStart(m)}
+			if s.batcher != nil && trace != nil {
+				trace.Add(obs.TraceEvent{Kind: obs.TraceBatched, Model: m, Queued: s.batcher.Queued(m)})
+			}
 			inFly = append(inFly, f)
 			s.launch(m, mod, f.done)
 		}
@@ -772,6 +859,8 @@ func (s *Server) processParallel(policy sim.Policy, tk *Ticket) {
 			// pauses the schedule; a final decline ends it.
 			if stalledAt >= 0 && s.memStalled(tr, deadlineMS-nowMS, stalledAt) &&
 				s.acct.awaitMore(stalledAt) {
+				trace.Add(obs.TraceEvent{Kind: obs.TraceMemStall, Model: -1,
+					RemainingMS: deadlineMS - nowMS, AvailMemMB: stalledAt, Note: "memory"})
 				continue
 			}
 			break
@@ -790,6 +879,7 @@ func (s *Server) processParallel(policy sim.Policy, tk *Ticket) {
 		<-f.done
 		mod := s.ex.Model(f.model)
 		s.acct.release(mod.MemMB)
+		s.cfg.Metrics.execDone(f.model, f.started, s.cfg.TimeScale)
 		nowMS = f.finishMS
 		tr.Execute(f.model)
 		out := s.ex.Output(tk.image, f.model)
@@ -800,7 +890,9 @@ func (s *Server) processParallel(policy sim.Policy, tk *Ticket) {
 	// The coordinating worker is occupied for the whole makespan, so
 	// that — not the summed model time, which can exceed it — is the
 	// busy time charged to utilization.
-	s.finish(tk, startWall, executed, outputs, nowMS, selectSec, tr.Recall(), tr.HasTruth())
+	trace.Add(obs.TraceEvent{Kind: obs.TraceCommit, Model: -1, RemainingMS: deadlineMS - nowMS})
+	s.observeQuality(policy, tr, outputs)
+	s.finish(tk, startWall, executed, outputs, nowMS, selectSec, tr.Recall(), tr.HasTruth(), trace)
 }
 
 // finish commits and records one completed item, then resolves its
@@ -810,7 +902,7 @@ func (s *Server) processParallel(policy sim.Policy, tk *Ticket) {
 // item's explicit lifetime boundary) happens first: the outputs are
 // already captured by value, so the corpus may evict the item's memo the
 // moment the commit is journaled, before any reader wakes.
-func (s *Server) finish(tk *Ticket, startWall time.Time, executed []int, outputs []zoo.Output, schedMS, selectSec float64, recall float64, hasRecall bool) {
+func (s *Server) finish(tk *Ticket, startWall time.Time, executed []int, outputs []zoo.Output, schedMS, selectSec float64, recall float64, hasRecall bool, trace *obs.ItemTrace) {
 	if s.cfg.Corpus != nil {
 		s.cfg.Corpus.CommitItem(tk.image, executed, schedMS)
 	}
@@ -838,6 +930,10 @@ func (s *Server) finish(tk *Ticket, startWall time.Time, executed []int, outputs
 		WaitSec:    rec.StartSec - rec.ArrivalSec,
 		LatencySec: rec.FinishSec - rec.ArrivalSec,
 	}
+	// Telemetry reads the very record ServeStats will summarize — one
+	// source of truth, so the exposition can never disagree with Stats.
+	s.cfg.Metrics.itemDone(tk.res.WaitSec, tk.res.LatencySec, selectSec)
+	s.cfg.Tracer.End(trace)
 	s.mu.Lock()
 	s.completed++
 	if len(s.records) < s.cfg.StatsWindow {

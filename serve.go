@@ -4,10 +4,12 @@ import (
 	"context"
 	"fmt"
 	"hash/fnv"
+	"strconv"
 	"sync"
 	"time"
 
 	"ams/internal/corpus"
+	"ams/internal/obs"
 	"ams/internal/oracle"
 	"ams/internal/sched"
 	"ams/internal/serve"
@@ -99,6 +101,21 @@ type ServeConfig struct {
 	// ShardSteal lets a shard whose queue idles steal pending items from
 	// its most loaded sibling (never items pinned by replay).
 	ShardSteal bool
+	// Telemetry turns on the server's live metric registry and decision
+	// tracer: per-stage latency histograms, per-model execution counters,
+	// per-shard live gauges, and a bounded ring of per-item scheduling
+	// traces, snapshotted through ServeStats.Telemetry, Traces, and
+	// TraceFor. Instruments only observe — schedules are bit-identical
+	// with telemetry on or off — and when this is unset (and MetricsAddr
+	// is empty) the whole path is inert: no registry exists and the hot
+	// path allocates nothing.
+	Telemetry bool
+	// MetricsAddr, when non-empty (host:port; ":0" picks a free port),
+	// additionally serves the telemetry over HTTP: /metrics (Prometheus
+	// text), /statusz (JSON status + metric snapshot), /tracez (recent
+	// decision traces), and /debug/pprof. Implies Telemetry. The listener
+	// shuts down with Close. MetricsAddr reports the bound address.
+	MetricsAddr string
 }
 
 // ServeTrace describes a Poisson arrival trace for Serve and
@@ -162,6 +179,13 @@ type ServeStats struct {
 	Shards   int
 	Steals   int64
 	PerShard []ShardServeStats
+
+	// Telemetry is the full metric snapshot at the moment Stats was
+	// called — every registered series, including the per-stage
+	// histograms and per-shard views /metrics exposes — or nil when
+	// ServeConfig.Telemetry is off. The scalar fields above are views
+	// over the same underlying state, so the two never disagree.
+	Telemetry []TelemetryMetric
 }
 
 // ShardServeStats is one shard's slice of a sharded run.
@@ -198,6 +222,15 @@ type Server struct {
 	shards    []*serverShard
 	router    *shard.Router
 	placement shard.Placement
+
+	// Telemetry plumbing — all nil unless ServeConfig.Telemetry (or
+	// MetricsAddr) asked for it. One registry and one tracer span every
+	// shard: per-model series aggregate fleet-wide, per-shard state is
+	// broken out through labeled views.
+	reg      *obs.Registry
+	tracer   *obs.Tracer
+	metrics  *serve.Metrics
+	exporter *obs.Exporter
 
 	resOnce sync.Once
 	res     chan *Result
@@ -297,6 +330,11 @@ func (s *System) NewServer(agent *Agent, cfg ServeConfig) (*Server, error) {
 		return nil, fmt.Errorf("ams: corpus opened by a different System")
 	}
 	sv := &Server{sys: s, corpus: cfg.Corpus, cache: cache, placement: placement}
+	if cfg.Telemetry || cfg.MetricsAddr != "" {
+		sv.reg = obs.NewRegistry()
+		sv.tracer = obs.NewTracer(0)
+		sv.metrics = serve.NewMetrics(sv.reg, s.Zoo.Models)
+	}
 
 	if cfg.Shards <= 1 {
 		// The single-budget server: one shard, no router in the path.
@@ -307,12 +345,12 @@ func (s *System) NewServer(agent *Agent, cfg ServeConfig) (*Server, error) {
 			}
 			seg = cfg.Corpus.segs[0]
 		}
-		sh, err := s.newShard(cfg, policy, seg, factory, cfg.Workers, cfg.MemoryGB, cfg.QueueCap, time.Time{})
+		sh, err := s.newShard(sv, cfg, policy, seg, factory, cfg.Workers, cfg.MemoryGB, cfg.QueueCap, time.Time{})
 		if err != nil {
 			return nil, err
 		}
 		sv.shards = []*serverShard{sh}
-		return sv, nil
+		return sv.finishTelemetry(cfg)
 	}
 
 	n := cfg.Shards
@@ -353,7 +391,7 @@ func (s *System) NewServer(agent *Agent, cfg ServeConfig) (*Server, error) {
 			offset += workerSplit[j]
 		}
 		shardFactory := func(w int) sim.Policy { return factory(offset + w) }
-		sh, err := s.newShard(cfg, policy, seg, shardFactory, workerSplit[i], cfg.MemoryGB/float64(n), queuePer, epoch)
+		sh, err := s.newShard(sv, cfg, policy, seg, shardFactory, workerSplit[i], cfg.MemoryGB/float64(n), queuePer, epoch)
 		if err != nil {
 			for _, prev := range sv.shards[:i] {
 				prev.inner.Close()
@@ -376,12 +414,57 @@ func (s *System) NewServer(agent *Agent, cfg ServeConfig) (*Server, error) {
 		return nil, fmt.Errorf("ams: %w", err)
 	}
 	sv.router = router
+	return sv.finishTelemetry(cfg)
+}
+
+// finishTelemetry completes a constructed server's observability: it
+// registers the live-state views (per-shard serve gauges, router
+// counters, corpus durability metrics, predictor-cache stats) and —
+// last, after every other fallible construction step — binds the HTTP
+// exporter, so a bind failure tears the fully built server down
+// cleanly. No-op without telemetry.
+func (sv *Server) finishTelemetry(cfg ServeConfig) (*Server, error) {
+	if sv.reg == nil {
+		return sv, nil
+	}
+	for i, sh := range sv.shards {
+		sh.inner.RegisterViews(sv.reg, obs.L("shard", strconv.Itoa(i)))
+	}
+	if sv.router != nil {
+		sv.router.RegisterViews(sv.reg)
+	}
+	if sv.corpus != nil {
+		for i, seg := range sv.corpus.segs {
+			label := obs.L("seg", strconv.Itoa(i))
+			seg.SetMetrics(corpus.NewMetrics(sv.reg, label))
+			seg.RegisterViews(sv.reg, label)
+		}
+	}
+	if sv.cache != nil {
+		sv.reg.CounterFunc("ams_predcache_hits_total",
+			"Shared Q-prediction cache hits",
+			func() int64 { h, _, _ := sv.cache.Stats(); return h })
+		sv.reg.CounterFunc("ams_predcache_misses_total",
+			"Shared Q-prediction cache misses",
+			func() int64 { _, m, _ := sv.cache.Stats(); return m })
+		sv.reg.GaugeFunc("ams_predcache_entries",
+			"Entries resident in the shared Q-prediction cache",
+			func() float64 { _, _, n := sv.cache.Stats(); return float64(n) })
+	}
+	if cfg.MetricsAddr != "" {
+		exp, err := obs.NewExporter(cfg.MetricsAddr, sv.reg, sv.tracer, func() any { return sv.Stats() })
+		if err != nil {
+			_ = sv.Close()
+			return nil, fmt.Errorf("ams: metrics exporter: %w", err)
+		}
+		sv.exporter = exp
+	}
 	return sv, nil
 }
 
 // newShard builds one shard: a serve.Server over either the shard's
 // corpus segment or a private on-demand executor.
-func (s *System) newShard(cfg ServeConfig, policy Policy, seg *corpus.Corpus, factory service.PolicyFactory,
+func (s *System) newShard(sv *Server, cfg ServeConfig, policy Policy, seg *corpus.Corpus, factory service.PolicyFactory,
 	workers int, memoryGB float64, queueCap int, epoch time.Time) (*serverShard, error) {
 	sh := &serverShard{
 		sys:       s,
@@ -418,6 +501,8 @@ func (s *System) newShard(cfg ServeConfig, policy Policy, seg *corpus.Corpus, fa
 		ItemParallel:   policy.parallel,
 		Corpus:         corpusHook,
 		Epoch:          epoch,
+		Metrics:        sv.metrics,
+		Tracer:         sv.tracer,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("ams: %w", err)
@@ -762,6 +847,9 @@ func (sv *Server) Stats() ServeStats {
 	if sv.cache != nil {
 		st.PredCacheHits, st.PredCacheMisses, st.PredCacheEntries = sv.cache.Stats()
 	}
+	if sv.reg != nil {
+		st.Telemetry = telemetryFromObs(sv.reg.Snapshot())
+	}
 	return st
 }
 
@@ -769,6 +857,9 @@ func (sv *Server) Stats() ServeStats {
 // shard's pending queue through its workers), and waits for in-flight
 // items.
 func (sv *Server) Close() error {
+	// The exporter goes first so no scrape races the teardown; Close
+	// waits for its serve goroutine, keeping leak checks clean.
+	_ = sv.exporter.Close()
 	if sv.router != nil {
 		return sv.router.Close()
 	}

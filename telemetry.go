@@ -1,0 +1,110 @@
+package ams
+
+import (
+	"ams/internal/obs"
+)
+
+// TelemetryMetric is one metric series' point-in-time state, as carried
+// in ServeStats.Telemetry: counters and gauges report Value; histograms
+// additionally report Count, Sum, and the nearest-rank quantiles (Value
+// is then the mean). The same series, in the same units, appear on the
+// HTTP exporter's /metrics endpoint — DESIGN.md §8 catalogs them.
+type TelemetryMetric struct {
+	Name   string            `json:"name"`
+	Kind   string            `json:"kind"` // "counter", "gauge", or "histogram"
+	Labels map[string]string `json:"labels,omitempty"`
+	Value  float64           `json:"value"`
+	Count  int64             `json:"count,omitempty"`
+	Sum    float64           `json:"sum,omitempty"`
+	P50    float64           `json:"p50,omitempty"`
+	P95    float64           `json:"p95,omitempty"`
+	P99    float64           `json:"p99,omitempty"`
+}
+
+func telemetryFromObs(ms []obs.Metric) []TelemetryMetric {
+	if ms == nil {
+		return nil
+	}
+	out := make([]TelemetryMetric, len(ms))
+	for i, m := range ms {
+		out[i] = TelemetryMetric{
+			Name: m.Name, Kind: m.Kind, Labels: m.Labels,
+			Value: m.Value, Count: m.Count, Sum: m.Sum,
+			P50: m.P50, P95: m.P95, P99: m.P99,
+		}
+	}
+	return out
+}
+
+// A DecisionEvent is one structured scheduling decision from an item's
+// trace, with the constraint values the worker saw at decision time.
+// Kinds: "selected" (policy picked Model), "skipped-over-budget" (the
+// policy declined with unexecuted models remaining), "mem-stall"
+// (selection waited for memory to free), "deferred-to-batch" (execution
+// handed to a batch lane, Queued deep), "exec" (direct execution), and
+// "commit" (schedule finalized).
+type DecisionEvent struct {
+	Kind        string  `json:"kind"`
+	Model       int     `json:"model"`        // -1 when not model-specific
+	RemainingMS float64 `json:"remaining_ms"` // deadline budget left
+	AvailMemMB  float64 `json:"avail_mem_mb"` // memory-accountant headroom
+	Queued      int     `json:"queued,omitempty"`
+	Note        string  `json:"note,omitempty"`
+}
+
+// A DecisionTrace is one completed item's scheduling narrative — the
+// ordered decision events from dequeue to commit. Traces live in a
+// bounded ring (the most recent few hundred items), retrievable by
+// recency (Traces), by submission tag (TraceFor), or over HTTP as JSON
+// (/tracez). DroppedEvents counts events past the per-item cap.
+type DecisionTrace struct {
+	Item          int             `json:"item"`
+	Tag           string          `json:"tag,omitempty"`
+	Seq           int64           `json:"seq"`
+	Events        []DecisionEvent `json:"events"`
+	DroppedEvents int             `json:"dropped_events,omitempty"`
+}
+
+func traceFromObs(tr obs.ItemTrace) DecisionTrace {
+	out := DecisionTrace{
+		Item: tr.Item, Tag: tr.Tag, Seq: tr.Seq, DroppedEvents: tr.Dropped,
+		Events: make([]DecisionEvent, len(tr.Events)),
+	}
+	for i, ev := range tr.Events {
+		out.Events[i] = DecisionEvent{
+			Kind: ev.Kind, Model: ev.Model, RemainingMS: ev.RemainingMS,
+			AvailMemMB: ev.AvailMemMB, Queued: ev.Queued, Note: ev.Note,
+		}
+	}
+	return out
+}
+
+// MetricsAddr reports the HTTP exporter's bound address — useful with
+// ServeConfig.MetricsAddr ":0" — or "" when the exporter is off.
+func (sv *Server) MetricsAddr() string {
+	return sv.exporter.Addr()
+}
+
+// Traces returns up to n of the most recently completed items' decision
+// traces, newest first. Nil unless ServeConfig.Telemetry is on.
+func (sv *Server) Traces(n int) []DecisionTrace {
+	trs := sv.tracer.Recent(n)
+	if trs == nil {
+		return nil
+	}
+	out := make([]DecisionTrace, len(trs))
+	for i, tr := range trs {
+		out[i] = traceFromObs(tr)
+	}
+	return out
+}
+
+// TraceFor returns the most recent resident decision trace for an item
+// submitted with the given tag (ItemID), if it is still in the ring.
+func (sv *Server) TraceFor(tag string) (DecisionTrace, bool) {
+	tr, ok := sv.tracer.ByTag(tag)
+	if !ok {
+		return DecisionTrace{}, false
+	}
+	return traceFromObs(tr), true
+}
