@@ -65,6 +65,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strings"
 
 	"ams"
 )
@@ -91,10 +92,15 @@ func main() {
 		placement = flag.String("placement", "hash", "shard placement policy: hash, least, or affinity")
 		steal     = flag.Bool("steal", false, "let an idle shard steal pending items from a loaded sibling")
 
-		metricsAddr = flag.String("metrics", "", "serve live telemetry over HTTP at this host:port while the trace runs: /metrics (Prometheus), /statusz (JSON), /tracez (decision traces), /debug/pprof")
+		metricsAddr = flag.String("metrics", "", "serve live telemetry over HTTP at this host:port while the trace runs: /metrics (Prometheus), /statusz (JSON), /tracez (decision traces; ?format=chrome for Perfetto), /debug/pprof")
+		traceOut    = flag.String("trace-out", "", "write the span-trace ring as Chrome trace-event JSON (Perfetto-loadable) to this file at shutdown; implies telemetry")
+		traceCap    = flag.Int("trace-cap", 0, "completed item traces the tracer ring retains (0 = default 256)")
+		sloSpecs    = flag.String("slo", "", "comma-separated latency objectives, e.g. \"p99<250ms,slow:p95<1s\" (a deadline p99 objective is always tracked); burn rates export as ams_slo_* series")
+		flightDir   = flag.String("flight-dir", "", "arm the anomaly flight recorder: on shed storms, deadline burn, steal storms, or reserve stalls, dump pre-anomaly traces+metrics bundles into this directory")
 
 		rate     = flag.Int("rate", 4, "mean arrivals per simulated second (Poisson)")
 		items    = flag.Int("items", 200, "arrival trace length")
+		openLoop = flag.Bool("open-loop", false, "submit without blocking: arrivals keep Poisson pacing and excess load is shed (exercises overload / the flight recorder) instead of applying backpressure")
 		compare  = flag.Bool("compare", false, "also run the virtual-time simulation of the same workload")
 		external = flag.Bool("external", false, "serve freshly generated external items (no precomputed ground truth) instead of cycling the held-out split")
 
@@ -149,8 +155,14 @@ func main() {
 		ShardPlacement: *placement,
 		ShardSteal:     *steal,
 		MetricsAddr:    *metricsAddr,
+		TraceOut:       *traceOut,
+		TraceCapacity:  *traceCap,
+		FlightDir:      *flightDir,
 	}
-	trace := ams.ServeTrace{ArrivalRateHz: float64(*rate), Items: *items, Seed: *seed}
+	if *sloSpecs != "" {
+		cfg.SLOs = strings.Split(*sloSpecs, ",")
+	}
+	trace := ams.ServeTrace{ArrivalRateHz: float64(*rate), Items: *items, Seed: *seed, OpenLoop: *openLoop}
 
 	var corpus *ams.Corpus
 	if *journalPath != "" {
@@ -222,6 +234,12 @@ func main() {
 		log.Fatalf("amsserve: %v", err)
 	}
 	real.WriteSummary(os.Stdout, "real server", *memory*1024)
+	if *traceOut != "" {
+		fmt.Printf("\nspan trace written to %s (load in https://ui.perfetto.dev or chrome://tracing)\n", *traceOut)
+	}
+	if *flightDir != "" {
+		fmt.Printf("flight recorder armed at %s (bundles written on anomaly triggers)\n", *flightDir)
+	}
 	if corpus != nil {
 		corpus.Stats().WriteSummary(os.Stdout)
 		if err := corpus.Close(); err != nil {

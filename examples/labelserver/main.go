@@ -35,6 +35,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strings"
 	"sync"
 
 	"ams"
@@ -55,6 +56,8 @@ func main() {
 	replay := flag.Bool("replay", false, "recover the -journal corpus from a previous (possibly killed) run and exit")
 	shards := flag.Int("shards", 0, "split the server into this many shards (affinity-routed, work-stealing); with -journal the path becomes a directory of per-shard segments")
 	metrics := flag.String("metrics", "", "serve live telemetry over HTTP at this host:port (\":0\" picks a free port): /metrics, /statusz, /tracez, /debug/pprof")
+	slo := flag.String("slo", "", "comma-separated latency objectives (e.g. \"p99<250ms\"); enables telemetry and ams_slo_* burn-rate accounting")
+	flightDir := flag.String("flight-dir", "", "arm the anomaly flight recorder: pre-anomaly trace+metric bundles land in this directory")
 	flag.Parse()
 	if *replay && *journal == "" {
 		log.Fatal("labelserver: -replay requires -journal")
@@ -83,6 +86,10 @@ func main() {
 		QueueCap:    8,
 		TimeScale:   *timescale,
 		MetricsAddr: *metrics,
+		FlightDir:   *flightDir,
+	}
+	if *slo != "" {
+		cfg.SLOs = strings.Split(*slo, ",")
 	}
 	if *shards > 1 {
 		// Sharded mode: each shard gets its own worker slice, memory
@@ -206,6 +213,13 @@ func main() {
 	// in one format.
 	fmt.Println()
 	srv.Stats().WriteSummary(os.Stdout, "server", 6*1024)
+	// With telemetry on (any of -metrics, -slo, -flight-dir), explain
+	// the slowest item stage by stage through the shared critical-path
+	// renderer: traces stay readable after Close.
+	if tr, ok := srv.SlowestTrace(); ok {
+		fmt.Println()
+		tr.WriteCriticalPath(os.Stdout, "slowest item")
+	}
 	if corpus != nil {
 		corpus.Stats().WriteSummary(os.Stdout)
 		if err := corpus.Close(); err != nil {

@@ -20,6 +20,11 @@
 //     and simulated-execution packages measure real spans through the
 //     obs seam instead of raw time.Since (the PR-9 instrumentation
 //     discipline: wall and simulated clocks must stay distinguishable).
+//   - spanpair: every span opened on the tracing seam (Tracer.Begin,
+//     ItemTrace.StartSpan/StartSpanAt) reaches its close on every
+//     control-flow path — an unclosed item trace never commits to the
+//     /tracez ring and an unclosed child span corrupts the
+//     critical-path attribution (the PR-10 span-tree discipline).
 //
 // The framework mirrors golang.org/x/tools/go/analysis (Analyzer, Pass,
 // Diagnostic) but is self-contained on the standard library's go/ast and
@@ -94,6 +99,7 @@ func All() []*Analyzer {
 		LockBlock,
 		CtxFlow,
 		Obsclean,
+		SpanPair,
 	}
 }
 

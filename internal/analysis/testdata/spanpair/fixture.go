@@ -1,0 +1,126 @@
+// Package fixture seeds violations of the spanpair invariant: every
+// span opened on the tracing seam (Tracer.Begin, ItemTrace.StartSpan/
+// StartSpanAt) reaches its close (End, EndSpan/EndSpanAt) on every
+// control-flow path, with defers and whole-value forwarding sanctioned.
+//
+//amsvet:importpath ams/internal/fixture
+package fixture
+
+// Tracer and ItemTrace mirror the obs seam's shapes: the analyzer keys
+// on these receiver type names, not on the obs import path.
+type Tracer struct{}
+
+type ItemTrace struct{ n int }
+
+func (t *Tracer) Begin(image int, tag string) *ItemTrace { return &ItemTrace{} }
+func (t *Tracer) End(it *ItemTrace)                      {}
+
+func (it *ItemTrace) StartSpan(name string, parent, model int) int       { it.n++; return it.n }
+func (it *ItemTrace) StartSpanAt(name string, parent, model, at int) int { it.n++; return it.n }
+func (it *ItemTrace) EndSpan(id int)                                     {}
+func (it *ItemTrace) EndSpanAt(id, at int)                               {}
+func (it *ItemTrace) Add(ev int)                                         {}
+
+func work() bool { return true }
+
+func finish(outputs []int, trace *ItemTrace) {}
+
+// --- seeded violations ---
+
+func discardedBegin(tr *Tracer) {
+	tr.Begin(1, "img") // want "result of Begin is discarded"
+}
+
+func discardedStart(it *ItemTrace) {
+	it.StartSpan("exec", 0, 1) // want "result of StartSpan is discarded"
+}
+
+func blankAssigned(tr *Tracer) {
+	_ = tr.Begin(1, "img") // want "result of Begin is assigned to _"
+}
+
+func deferDiscarded(tr *Tracer) {
+	defer tr.Begin(1, "img") // want "result of Begin is discarded by go/defer"
+}
+
+func leakyEarlyReturn(it *ItemTrace) {
+	id := it.StartSpan("reserve-wait", 0, 2) // want "span from StartSpan can return without EndSpan"
+	if !work() {
+		return // the span is still open here
+	}
+	it.EndSpan(id)
+}
+
+func neverClosed(tr *Tracer) {
+	trace := tr.Begin(1, "img") // want "span from Begin never reaches End in neverClosed"
+	trace.Add(7)                // receiver-only use: neither close nor forward
+}
+
+func startAtNeverClosed(it *ItemTrace) {
+	id := it.StartSpanAt("batch-hold", 0, 1, 40) // want "span from StartSpanAt never reaches EndSpan"
+	if id < 0 {
+		work() // a condition read neither closes nor forwards
+	}
+}
+
+// --- sanctioned shapes: no diagnostics ---
+
+func pairedDirect(it *ItemTrace) {
+	id := it.StartSpan("exec", 0, 1)
+	work()
+	it.EndSpan(id)
+}
+
+func pairedAt(it *ItemTrace) {
+	id := it.StartSpanAt("queue-wait", 0, -1, 10)
+	it.EndSpanAt(id, 25)
+}
+
+func pairedByDefer(tr *Tracer) {
+	trace := tr.Begin(1, "img")
+	defer tr.End(trace)
+	if !work() {
+		return // covered by the defer
+	}
+	work()
+}
+
+func deferredClosure(it *ItemTrace) {
+	id := it.StartSpan("commit", 0, -1)
+	defer func() { it.EndSpan(id) }()
+	work()
+}
+
+func forwardedToFinish(tr *Tracer) {
+	// The serve-loop shape: the trace is handed whole to one terminal
+	// function that owns the End.
+	trace := tr.Begin(1, "img")
+	trace.Add(1)
+	finish(nil, trace)
+}
+
+func forwardedToCaller(tr *Tracer) *ItemTrace {
+	return tr.Begin(1, "img")
+}
+
+func closedInBranch(tr *Tracer, it *ItemTrace) {
+	id := it.StartSpan("exec", 0, 3)
+	if work() {
+		it.EndSpan(id)
+	} else {
+		it.EndSpanAt(id, 99)
+	}
+}
+
+func asyncClose(it *ItemTrace) {
+	id := it.StartSpan("exec", 0, 1)
+	go func() {
+		work()
+		it.EndSpan(id)
+	}()
+}
+
+func escapeHatch(tr *Tracer) {
+	//amsvet:allow spanpair fixture exercising the reasoned escape hatch
+	tr.Begin(1, "img")
+}

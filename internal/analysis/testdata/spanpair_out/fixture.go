@@ -1,0 +1,29 @@
+// Scope check: the span-pairing rule keys on the obs seam's receiver
+// type names (Tracer, ItemTrace). The corpus ingestion lifecycle has a
+// Begin of its own — a sequence-number protocol with commit/abort, not
+// a span open — and must produce no spanpair findings.
+//
+//amsvet:importpath ams/internal/corpus
+package corpus
+
+// Corpus mirrors the real ingestion surface: Begin marks a sequence
+// in-flight and its pairing is corpus-internal, out of spanpair's scope.
+type Corpus struct{ inflight int }
+
+func (c *Corpus) Begin(seq int) int { c.inflight++; return seq }
+func (c *Corpus) End(seq int)       { c.inflight-- }
+
+// span-ish method names on an unrelated type are equally out of scope.
+type wheel struct{}
+
+func (w *wheel) StartSpan(name string, parent, model int) int { return 0 }
+
+func ingest(c *Corpus) {
+	c.Begin(41) // corpus protocol: no diagnostic
+	seq := c.Begin(42)
+	_ = seq
+}
+
+func timers(w *wheel) {
+	w.StartSpan("tick", 0, -1) // not the ItemTrace seam: no diagnostic
+}

@@ -30,6 +30,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"ams/internal/obs"
 	"ams/internal/vtime"
 	"ams/internal/zoo"
 )
@@ -80,7 +81,8 @@ type Stats struct {
 // request is one item's pending demand for a model.
 type request struct {
 	done  chan struct{}
-	owned bool // the batch reserves/releases the model footprint for it
+	owned bool          // the batch reserves/releases the model footprint for it
+	ref   *obs.BatchRef // fan-in telemetry handoff; nil when the waiter isn't tracing
 }
 
 // lane collects one model's pending requests until a flush seals them.
@@ -131,11 +133,14 @@ func New(models []*zoo.Model, mem Memory, wheel *vtime.Wheel, cfg Config) *Batch
 // the Memory on the request's behalf (the serial path); a non-owned
 // request's caller keeps its own reservation (the parallel path, whose
 // coordinator releases at commit) and the batch only shares the
-// execution.
-func (b *Batcher) Enqueue(m int, owned bool, done chan struct{}) {
+// execution. ref, when non-nil, is filled with the batch's fan-in
+// identity (id, size, seal stamp, flush cause) before done closes, so
+// a tracing waiter can record its batch-hold and exec spans; nil keeps
+// the batcher clock-free for that request.
+func (b *Batcher) Enqueue(m int, owned bool, done chan struct{}, ref *obs.BatchRef) {
 	ln := &b.lanes[m]
 	ln.mu.Lock()
-	ln.reqs = append(ln.reqs, request{done: done, owned: owned})
+	ln.reqs = append(ln.reqs, request{done: done, owned: owned, ref: ref})
 	ln.queued.Add(1)
 	if len(ln.reqs) == 1 {
 		ln.heldSince = b.cfg.Metrics.holdStart()
@@ -191,15 +196,28 @@ func (b *Batcher) seal(m int, ln *lane, sizeFlush bool) {
 
 // run executes one sealed batch: reserve the model's footprint once if
 // any request owns it, sleep the sub-linear batched cost on the wheel,
-// release, and wake every member.
+// release, and wake every member. Tracing waiters' BatchRefs are
+// filled before their done channels close — the channel close is the
+// happens-before edge that publishes the ref to the waiter.
 func (b *Batcher) run(m int, reqs []request, sizeFlush bool) {
 	mod := b.models[m]
 	n := len(reqs)
 	ownedReqs := 0
+	traced := false
 	for _, r := range reqs {
 		if r.owned {
 			ownedReqs++
 		}
+		if r.ref != nil {
+			traced = true
+		}
+	}
+	var sealT time.Time
+	if traced {
+		// The seal instant (execution begins here, including any wait on
+		// the shared accountant below). Read only when some waiter is
+		// tracing, so the disabled path stays clock-free.
+		sealT = time.Now()
 	}
 	reservedMB := 0.0
 	if b.mem != nil && ownedReqs > 0 {
@@ -214,6 +232,18 @@ func (b *Batcher) run(m int, reqs []request, sizeFlush bool) {
 	b.wheel.Sleep(b.scaled(mod.BatchCostMS(n)))
 	if reservedMB > 0 {
 		b.mem.Release(reservedMB)
+	}
+	if traced {
+		id := obs.NextBatchID()
+		flush := "hold"
+		if sizeFlush {
+			flush = "size"
+		}
+		for _, r := range reqs {
+			if r.ref != nil {
+				*r.ref = obs.BatchRef{Batch: id, N: n, Seal: sealT, Flush: flush}
+			}
+		}
 	}
 	for _, r := range reqs {
 		close(r.done)

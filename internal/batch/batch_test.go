@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"ams/internal/obs"
 	"ams/internal/vtime"
 	"ams/internal/zoo"
 )
@@ -56,7 +57,7 @@ func TestSizeFlushCoalescesDemand(t *testing.T) {
 	dones := make([]chan struct{}, 3)
 	for i := range dones {
 		dones[i] = make(chan struct{})
-		b.Enqueue(0, true, dones[i])
+		b.Enqueue(0, true, dones[i], nil)
 	}
 	for _, d := range dones {
 		<-d // the size flush must fire well before the enormous hold
@@ -83,7 +84,7 @@ func TestSizeFlushCoalescesDemand(t *testing.T) {
 func TestHoldFlushNeverStarvesALoneRequest(t *testing.T) {
 	b, _ := newBatcher(t, nil, Config{MaxBatch: 8, MaxHoldMS: 5, TimeScale: 0.01})
 	done := make(chan struct{})
-	b.Enqueue(1, false, done)
+	b.Enqueue(1, false, done, nil)
 	select {
 	case <-done:
 	case <-time.After(2 * time.Second):
@@ -106,7 +107,7 @@ func TestBatchOfOneMatchesUnbatchedSequence(t *testing.T) {
 	b, _ := newBatcher(t, mem, Config{MaxBatch: 1, MaxHoldMS: 10, TimeScale: 0.1})
 	start := time.Now()
 	done := make(chan struct{})
-	b.Enqueue(0, true, done)
+	b.Enqueue(0, true, done, nil)
 	<-done
 	// 100 simulated ms at TimeScale 0.1 = 10 ms real.
 	if elapsed := time.Since(start); elapsed < 10*time.Millisecond {
@@ -128,14 +129,14 @@ func TestQueuedTracksUnsealedDemand(t *testing.T) {
 		t.Fatalf("fresh lane queued %d", b.Queued(0))
 	}
 	d1, d2 := make(chan struct{}), make(chan struct{})
-	b.Enqueue(0, false, d1)
+	b.Enqueue(0, false, d1, nil)
 	if b.Queued(0) != 1 {
 		t.Fatalf("queued %d after one enqueue, want 1", b.Queued(0))
 	}
 	if b.Queued(1) != 0 {
 		t.Fatalf("lane 1 queued %d, want 0 (demand is per model)", b.Queued(1))
 	}
-	b.Enqueue(0, false, d2) // second request seals the batch synchronously
+	b.Enqueue(0, false, d2, nil) // second request seals the batch synchronously
 	if b.Queued(0) != 0 {
 		t.Fatalf("queued %d after seal, want 0 (running batches are not joinable)", b.Queued(0))
 	}
@@ -155,7 +156,7 @@ func TestConcurrentEnqueues(t *testing.T) {
 		go func(i int) {
 			defer wg.Done()
 			done := make(chan struct{})
-			b.Enqueue(i%2, i%3 == 0, done)
+			b.Enqueue(i%2, i%3 == 0, done, nil)
 			<-done
 		}(i)
 	}
@@ -177,5 +178,49 @@ func TestConcurrentEnqueues(t *testing.T) {
 	}
 	if sum != 0 {
 		t.Fatalf("unbalanced reservations: %v MB leaked", sum)
+	}
+}
+
+// TestBatchRefFanIn: every tracing waiter's BatchRef is filled — with
+// one shared batch id, the coalesced size, a real seal stamp, and the
+// flush cause — before its done channel closes; a nil ref waiter in the
+// same batch is untouched and the disabled path stays clock-free.
+func TestBatchRefFanIn(t *testing.T) {
+	b, _ := newBatcher(t, nil, Config{MaxBatch: 3, MaxHoldMS: 1e6, TimeScale: 0.01})
+	refs := []*obs.BatchRef{{}, {}, nil}
+	dones := make([]chan struct{}, 3)
+	for i := range dones {
+		dones[i] = make(chan struct{})
+		b.Enqueue(0, false, dones[i], refs[i])
+	}
+	for _, d := range dones {
+		<-d
+	}
+	if refs[0].Batch == 0 || refs[0].Batch != refs[1].Batch {
+		t.Fatalf("waiters must share one nonzero batch id: %d vs %d", refs[0].Batch, refs[1].Batch)
+	}
+	for i, ref := range refs[:2] {
+		if ref.N != 3 {
+			t.Fatalf("ref[%d].N = %d, want 3", i, ref.N)
+		}
+		if ref.Seal.IsZero() {
+			t.Fatalf("ref[%d] missing the seal stamp", i)
+		}
+		if ref.Flush != "size" {
+			t.Fatalf("ref[%d].Flush = %q, want size", i, ref.Flush)
+		}
+	}
+}
+
+// TestBatchRefHoldFlush: a lone request sealed by the hold timer reads
+// flush cause "hold" and batch size 1.
+func TestBatchRefHoldFlush(t *testing.T) {
+	b, _ := newBatcher(t, nil, Config{MaxBatch: 8, MaxHoldMS: 5, TimeScale: 0.01})
+	ref := &obs.BatchRef{}
+	done := make(chan struct{})
+	b.Enqueue(1, false, done, ref)
+	<-done
+	if ref.Batch == 0 || ref.N != 1 || ref.Flush != "hold" {
+		t.Fatalf("hold-flushed ref = %+v, want n=1 flush=hold", ref)
 	}
 }

@@ -13,7 +13,8 @@ import (
 //
 //	/metrics          Prometheus text format
 //	/statusz          JSON: caller-supplied status plus a full snapshot
-//	/tracez           JSON: recent decision traces (?n=, ?tag=)
+//	/tracez           JSON: recent span traces (?n=, ?tag=,
+//	                  ?format=chrome for Perfetto / chrome://tracing)
 //	/debug/pprof/...  the standard runtime profiles
 //
 // It owns one listener and one serve goroutine; Close shuts both down
@@ -58,6 +59,10 @@ func NewExporter(addr string, reg *Registry, tr *Tracer, statusz func() any) (*E
 			if v, err := strconv.Atoi(q); err == nil && v > 0 {
 				n = v
 			}
+		}
+		if r.URL.Query().Get("format") == "chrome" {
+			_ = tr.WriteChrome(w, n, r.URL.Query().Get("tag"))
+			return
 		}
 		_ = tr.WriteJSON(w, n, r.URL.Query().Get("tag"))
 	})

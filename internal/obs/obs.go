@@ -1,7 +1,9 @@
 // Package obs is the serving stack's runtime telemetry layer: sharded
 // atomic counters, gauges, log-bucketed latency histograms with
 // quantile snapshots, a named-metric registry with Prometheus text
-// exposition, a bounded per-item decision-trace ring, and an opt-in
+// exposition, a bounded per-item ring of causal span traces (with
+// critical-path attribution and Chrome trace-event export), SLO
+// burn-rate accounting, an anomaly flight recorder, and an opt-in
 // HTTP exporter (/metrics, /statusz, /tracez, /debug/pprof).
 //
 // The package is built around two hard promises the serving layer

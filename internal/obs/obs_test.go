@@ -137,9 +137,22 @@ func TestNilInstrumentsAllocFree(t *testing.T) {
 		t0 := Started(h)
 		h.ObserveSince(t0)
 		h.ObserveScaledSince(t0, 0.001)
+		tr.NoteSteal("x", 0, 1)
 		it = tr.Begin(1, "x")
 		it.Add(TraceEvent{Kind: TraceSelected})
+		if !it.Stamp().IsZero() {
+			panic("nil ItemTrace.Stamp must not read the clock")
+		}
+		it.SetShard(2)
+		_ = it.Root(time.Time{})
+		sp := it.StartSpan(SpanExec, 0, 1)
+		it.EndSpan(sp)
+		_ = it.SpanBetween(SpanQueueWait, 0, -1, time.Time{}, time.Time{})
+		it.AnnotateBatch(sp, 1, 2, "size")
 		tr.End(it)
+		var slo *SLO
+		slo.Observe(0.5)
+		_ = slo.BurnRate(300)
 		_ = r.Counter("ams_x", "help")
 		_ = r.Gauge("ams_y", "help")
 		_ = r.Histogram("ams_z", "help")
@@ -304,6 +317,32 @@ func TestTraceEventCap(t *testing.T) {
 	}
 	if len(it.Events) != maxTraceEvents || it.Dropped != 10 {
 		t.Fatalf("cap not enforced: events=%d dropped=%d", len(it.Events), it.Dropped)
+	}
+}
+
+// An unconstrained budget reaches the scheduler as +Inf; recorded
+// verbatim it would make every trace unmarshalable (encoding/json
+// rejects non-finite values — the bug that silently broke /tracez and
+// flight bundles on servers without a memory budget).
+func TestTraceEventClampsNonFinite(t *testing.T) {
+	tr := NewTracer(1)
+	it := tr.Begin(0, "inf")
+	it.Add(TraceEvent{Kind: TraceSelected, Model: 1,
+		RemainingMS: math.Inf(1), AvailMemMB: math.Inf(1)})
+	it.Add(TraceEvent{Kind: TraceCommit, Model: -1,
+		RemainingMS: math.NaN(), AvailMemMB: math.NaN()})
+	for _, ev := range it.Events {
+		if ev.RemainingMS != -1 || ev.AvailMemMB != -1 {
+			t.Fatalf("non-finite constraint not clamped: %+v", ev)
+		}
+	}
+	tr.End(it)
+	var sb strings.Builder
+	if err := tr.WriteJSON(&sb, 1, ""); err != nil {
+		t.Fatalf("trace with unbounded constraints must stay marshalable: %v", err)
+	}
+	if !strings.Contains(sb.String(), `"avail_mem_mb": -1`) {
+		t.Fatalf("clamped sentinel missing from JSON:\n%s", sb.String())
 	}
 }
 

@@ -3,7 +3,9 @@ package obs
 import (
 	"encoding/json"
 	"io"
+	"math"
 	"sync"
+	"time"
 )
 
 // maxTraceEvents bounds one item's event list so a pathological
@@ -23,25 +25,46 @@ const (
 )
 
 // A TraceEvent is one structured scheduling decision with the
-// constraint values the policy saw at decision time.
+// constraint values the policy saw at decision time. An unbounded
+// constraint (no deadline, no memory budget — +Inf inside the
+// scheduler) records as -1: encoding/json rejects non-finite values,
+// and every trace consumer (/tracez, flight bundles) marshals events.
 type TraceEvent struct {
 	Kind        string  `json:"kind"`
 	Model       int     `json:"model"`            // -1 when not model-specific
-	RemainingMS float64 `json:"remaining_ms"`     // deadline budget left
-	AvailMemMB  float64 `json:"avail_mem_mb"`     // accountant headroom
+	RemainingMS float64 `json:"remaining_ms"`     // deadline budget left; -1 = unbounded
+	AvailMemMB  float64 `json:"avail_mem_mb"`     // accountant headroom; -1 = unbounded
 	Queued      int     `json:"queued,omitempty"` // batch-lane occupancy
 	Note        string  `json:"note,omitempty"`   // e.g. "deadline", "memory"
 }
 
-// An ItemTrace accumulates one item's decision events. It is built by a
-// single worker goroutine and published to the Tracer's ring at finish;
-// a nil ItemTrace (tracing disabled) no-ops every method.
+// An ItemTrace accumulates one item's decision events and lifecycle
+// spans. It is built by a single worker goroutine and published to the
+// Tracer's ring at finish; a nil ItemTrace (tracing disabled) no-ops
+// every method.
 type ItemTrace struct {
 	Item    int          `json:"item"`
 	Tag     string       `json:"tag,omitempty"`
 	Seq     int64        `json:"seq"`
 	Events  []TraceEvent `json:"events"`
 	Dropped int          `json:"dropped_events,omitempty"`
+
+	// Span-tree fields (see span.go). Shard is the shard that executed
+	// the item; Home is where the router first placed it — they differ
+	// exactly when the item was stolen, and the root span then carries
+	// a victim→thief causality link.
+	Shard        int     `json:"shard"`
+	Home         int     `json:"home"`
+	Stolen       bool    `json:"stolen,omitempty"`
+	BeginUnixUS  int64   `json:"begin_unix_us,omitempty"`
+	Scale        float64 `json:"time_scale,omitempty"`
+	Spans        []Span  `json:"spans,omitempty"`
+	DroppedSpans int     `json:"dropped_spans,omitempty"`
+
+	// origin is the wall-clock zero every span offset is measured from
+	// (the item's arrival); it survives the by-value publish into the
+	// ring but is deliberately kept out of the JSON payload.
+	origin time.Time
 }
 
 // Add appends one event (no-op on nil; counts overflow past the cap).
@@ -53,7 +76,25 @@ func (t *ItemTrace) Add(ev TraceEvent) {
 		t.Dropped++
 		return
 	}
+	if math.IsInf(ev.RemainingMS, 0) || math.IsNaN(ev.RemainingMS) {
+		ev.RemainingMS = -1
+	}
+	if math.IsInf(ev.AvailMemMB, 0) || math.IsNaN(ev.AvailMemMB) {
+		ev.AvailMemMB = -1
+	}
 	t.Events = append(t.Events, ev)
+}
+
+// maxPendingSteals bounds the steal-provenance map so a storm of stolen
+// tickets whose traces never Begin (e.g. context-cancelled mid-flight)
+// cannot grow it without limit.
+const maxPendingSteals = 1024
+
+// stealNote is pending provenance for one stolen ticket, keyed by tag
+// until the thief shard Begins the item's trace.
+type stealNote struct {
+	victim int
+	thief  int
 }
 
 // Tracer is a bounded ring of completed item traces. Begin hands out a
@@ -61,11 +102,16 @@ func (t *ItemTrace) Add(ev TraceEvent) {
 // `capacity` traces for /tracez and per-ticket retrieval. A nil Tracer
 // no-ops everything and Begins nil ItemTraces.
 type Tracer struct {
-	mu    sync.Mutex
-	ring  []ItemTrace
-	next  int
-	seq   int64
-	total int64
+	mu      sync.Mutex
+	ring    []ItemTrace
+	next    int
+	seq     int64
+	total   int64
+	evicted int64 // ring overwrites: traces lost to capacity
+	dropped int64 // events+spans dropped inside published traces
+	scale   float64
+	models  []string
+	steals  map[string]stealNote
 }
 
 // NewTracer returns a tracer retaining the most recent capacity traces
@@ -74,10 +120,68 @@ func NewTracer(capacity int) *Tracer {
 	if capacity <= 0 {
 		capacity = 256
 	}
-	return &Tracer{ring: make([]ItemTrace, 0, capacity)}
+	return &Tracer{ring: make([]ItemTrace, 0, capacity), scale: 1}
 }
 
-// Begin starts a trace for one item (nil when the tracer is nil).
+// SetTimeScale tells the tracer the server's TimeScale so span virtual
+// clocks (wall elapsed ÷ scale) read in simulated time. Call before
+// serving; no-op on nil or non-positive scale.
+func (t *Tracer) SetTimeScale(scale float64) {
+	if t == nil || scale <= 0 {
+		return
+	}
+	t.mu.Lock()
+	t.scale = scale
+	t.mu.Unlock()
+}
+
+// SetModelNames supplies human-readable model names for trace exports
+// (Chrome span titles); index = model id. No-op on nil.
+func (t *Tracer) SetModelNames(names []string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.models = append([]string(nil), names...)
+	t.mu.Unlock()
+}
+
+// modelName renders a model id for export payloads.
+func (t *Tracer) modelName(m int) string {
+	if t == nil || m < 0 {
+		return ""
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if m < len(t.models) {
+		return t.models[m]
+	}
+	return ""
+}
+
+// NoteSteal records steal provenance for a ticket about to be executed
+// by a thief shard: the next Begin carrying tag adopts it as a
+// victim→thief causality link on its root span. The router calls this
+// before handing the ticket to the thief's serve loop, so the channel
+// handoff orders it before Begin. No-op on nil tracer or empty tag.
+func (t *Tracer) NoteSteal(tag string, victim, thief int) {
+	if t == nil || tag == "" {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.steals == nil {
+		t.steals = make(map[string]stealNote)
+	}
+	if len(t.steals) >= maxPendingSteals {
+		return
+	}
+	t.steals[tag] = stealNote{victim: victim, thief: thief}
+}
+
+// Begin starts a trace for one item (nil when the tracer is nil). A
+// pending steal note for tag is consumed into the trace's provenance
+// fields.
 func (t *Tracer) Begin(item int, tag string) *ItemTrace {
 	if t == nil {
 		return nil
@@ -85,25 +189,70 @@ func (t *Tracer) Begin(item int, tag string) *ItemTrace {
 	t.mu.Lock()
 	t.seq++
 	seq := t.seq
+	scale := t.scale
+	note, stolen := t.steals[tag]
+	if stolen {
+		delete(t.steals, tag)
+	}
 	t.mu.Unlock()
-	return &ItemTrace{Item: item, Tag: tag, Seq: seq, Events: make([]TraceEvent, 0, 8)}
+	tr := &ItemTrace{Item: item, Tag: tag, Seq: seq, Scale: scale, Events: make([]TraceEvent, 0, 8)}
+	if stolen {
+		tr.Stolen = true
+		tr.Home = note.victim
+		tr.Shard = note.thief
+	}
+	return tr
 }
 
 // End publishes a completed trace into the ring (no-op when either side
-// is nil).
+// is nil). Any still-open spans — the root span in particular — are
+// closed at the publish instant.
 func (t *Tracer) End(tr *ItemTrace) {
 	if t == nil || tr == nil {
 		return
 	}
+	tr.closeOpenSpans()
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.total++
+	t.dropped += int64(tr.Dropped + tr.DroppedSpans)
 	if len(t.ring) < cap(t.ring) {
 		t.ring = append(t.ring, *tr)
 		return
 	}
+	t.evicted++
 	t.ring[t.next] = *tr
 	t.next = (t.next + 1) % len(t.ring)
+}
+
+// Evicted reports how many published traces have been overwritten by
+// ring wraparound — silent trace loss made visible (0 on nil).
+func (t *Tracer) Evicted() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.evicted
+}
+
+// DroppedTotal reports the cumulative events and spans dropped to the
+// per-trace caps across all published traces (0 on nil).
+func (t *Tracer) DroppedTotal() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// Capacity reports the ring's trace capacity (0 on nil).
+func (t *Tracer) Capacity() int {
+	if t == nil {
+		return 0
+	}
+	return cap(t.ring)
 }
 
 // Total reports how many traces have been published over the tracer's

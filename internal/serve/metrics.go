@@ -44,6 +44,13 @@ type Metrics struct {
 	// Batch carries the batching runtime's instruments (nil when the
 	// registry is nil), threaded into the batcher at construction.
 	Batch *batch.Metrics
+
+	// SLOs are the latency objectives every completed item is accounted
+	// against (itemDone feeds each one the item's simulated-clock
+	// latency). Observing an SLO only classifies and counts — nothing
+	// feeds back into scheduling — so bit-identity holds. Empty when no
+	// objectives are configured.
+	SLOs []*obs.SLO
 }
 
 // NewMetrics registers the serve-layer instruments against reg. Returns
@@ -132,6 +139,9 @@ func (m *Metrics) itemDone(waitSec, latencySec, selectSec float64) {
 	m.QueueWait.Observe(waitSec)
 	m.Latency.Observe(latencySec)
 	m.Select.Observe(selectSec)
+	for _, slo := range m.SLOs {
+		slo.Observe(latencySec)
+	}
 }
 
 // quality records the ground-truth-free quality proxy for one ingested

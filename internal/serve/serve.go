@@ -163,9 +163,15 @@ type Config struct {
 	Metrics *Metrics
 
 	// Tracer, when non-nil, records a bounded structured decision trace
-	// per item (selection, budget skips, memory stalls, batching,
-	// commit) retrievable by ticket tag. Nil disables tracing.
+	// and causal span tree per item (selection, budget skips, memory
+	// stalls, batching, commit) retrievable by ticket tag. Nil disables
+	// tracing.
 	Tracer *obs.Tracer
+
+	// Shard is this server's shard index, stamped into every trace so
+	// exports attribute spans to the executing shard (0 when the server
+	// is not sharded).
+	Shard int
 }
 
 // Corpus is the narrow contract a durable ingestion corpus exposes to
@@ -611,6 +617,9 @@ func checkSelection(policy sim.Policy, m int, mod *zoo.Model, c sim.Constraints)
 func (s *Server) process(policy sim.Policy, tk *Ticket) {
 	startWall := time.Now()
 	trace := s.cfg.Tracer.Begin(tk.image, tk.tag)
+	trace.SetShard(s.cfg.Shard)
+	root := trace.Root(tk.arrival)
+	trace.SpanBetween(obs.SpanQueueWait, root, -1, tk.arrival, startWall)
 	policy.Reset(tk.image)
 	tr := oracle.NewTracker(s.ex, tk.image)
 	remaining := s.cfg.DeadlineSec * 1000
@@ -636,6 +645,7 @@ func (s *Server) process(policy sim.Policy, tk *Ticket) {
 		t0 := time.Now()
 		m := policy.Next(tr, c)
 		selectSec += obs.SinceSeconds(t0)
+		trace.SpanBetween(obs.SpanSelect, root, -1, t0, trace.Stamp())
 		if m < 0 {
 			// Retry only when the decline can be blamed on memory that
 			// concurrent items hold right now; a final decline (out of
@@ -702,16 +712,28 @@ func (s *Server) observeQuality(policy sim.Policy, tr *oracle.Tracker, outputs [
 // executeSerial runs one model for a serially scheduled item: through
 // the batching runtime when batching is on (the batch owns the item's
 // footprint reservation — that is the coalescing), directly on the
-// timer wheel otherwise.
+// timer wheel otherwise. Tracing records the stage spans: batch-hold
+// (enqueue → seal) and exec (seal → wake) on the batched path, using
+// the seal stamp the batcher publishes through the BatchRef before the
+// done channel closes; reserve-wait and exec on the direct path.
 func (s *Server) executeSerial(policy sim.Policy, m int, mod *zoo.Model, trace *obs.ItemTrace) {
 	t0 := s.cfg.Metrics.execStart(m)
 	if s.batcher != nil {
+		var ref *obs.BatchRef
+		enq := trace.Stamp()
 		if trace != nil {
 			trace.Add(obs.TraceEvent{Kind: obs.TraceBatched, Model: m, Queued: s.batcher.Queued(m)})
+			ref = &obs.BatchRef{}
 		}
 		done := make(chan struct{})
-		s.batcher.Enqueue(m, s.acct != nil, done)
+		s.batcher.Enqueue(m, s.acct != nil, done, ref)
 		<-done
+		if ref != nil {
+			hold := trace.SpanBetween(obs.SpanBatchHold, 0, m, enq, ref.Seal)
+			trace.AnnotateBatch(hold, ref.Batch, ref.N, ref.Flush)
+			exec := trace.SpanBetween(obs.SpanExec, 0, m, ref.Seal, trace.Stamp())
+			trace.AnnotateBatch(exec, ref.Batch, ref.N, ref.Flush)
+		}
 		s.cfg.Metrics.execDone(m, t0, s.cfg.TimeScale)
 		return
 	}
@@ -719,9 +741,13 @@ func (s *Server) executeSerial(policy sim.Policy, m int, mod *zoo.Model, trace *
 	if s.acct != nil {
 		// Another worker may have claimed the observed headroom in the
 		// meantime; reserve blocks until the footprint fits again.
+		rw := trace.StartSpan(obs.SpanReserveWait, 0, m)
 		s.mustReserve(policy, m, mod)
+		trace.EndSpan(rw)
 	}
+	exec := trace.StartSpan(obs.SpanExec, 0, m)
 	s.wheel.Sleep(s.scaled(mod.TimeMS))
+	trace.EndSpan(exec)
 	if s.acct != nil {
 		s.acct.release(mod.MemMB)
 	}
@@ -753,6 +779,8 @@ type parallelFlight struct {
 	finishMS float64       // nominal finish on the item's schedule clock
 	done     chan struct{} // closed when the scaled sleep has elapsed
 	started  time.Time     // metrics stamp at launch (zero when disabled)
+	launched time.Time     // trace stamp at launch (zero when tracing is off)
+	ref      *obs.BatchRef // batched fan-in identity (nil unbatched/untraced)
 }
 
 // flightHas reports whether model m is in the in-flight set.
@@ -770,9 +798,9 @@ func flightHas(inFly []parallelFlight, m int) bool {
 // keeps the per-flight reservation until commit, exactly as the
 // virtual-time executor accounts memory; the batch only shares the
 // execution sleep — or as a plain timer on the wheel otherwise.
-func (s *Server) launch(m int, mod *zoo.Model, done chan struct{}) {
+func (s *Server) launch(m int, mod *zoo.Model, done chan struct{}, ref *obs.BatchRef) {
 	if s.batcher != nil {
-		s.batcher.Enqueue(m, false, done)
+		s.batcher.Enqueue(m, false, done, ref)
 		return
 	}
 	s.wheel.AfterFunc(s.scaled(mod.TimeMS), func() { close(done) })
@@ -788,6 +816,9 @@ func (s *Server) launch(m int, mod *zoo.Model, done chan struct{}) {
 func (s *Server) processParallel(policy sim.Policy, tk *Ticket) {
 	startWall := time.Now()
 	trace := s.cfg.Tracer.Begin(tk.image, tk.tag)
+	trace.SetShard(s.cfg.Shard)
+	root := trace.Root(tk.arrival)
+	trace.SpanBetween(obs.SpanQueueWait, root, -1, tk.arrival, startWall)
 	policy.Reset(tk.image)
 	tr := oracle.NewTracker(s.ex, tk.image)
 	deadlineMS := s.cfg.DeadlineSec * 1000
@@ -817,6 +848,7 @@ func (s *Server) processParallel(policy sim.Policy, tk *Ticket) {
 			t0 := time.Now()
 			m := policy.Next(tr, c)
 			selectSec += obs.SinceSeconds(t0)
+			trace.SpanBetween(obs.SpanSelect, root, -1, t0, trace.Stamp())
 			if m < 0 {
 				stalledAt = c.AvailMemMB
 				if trace != nil && len(tr.Unexecuted()) > len(inFly) {
@@ -844,14 +876,18 @@ func (s *Server) processParallel(policy sim.Policy, tk *Ticket) {
 			// never blocked, always drains its commits (which need no
 			// reservation), and its releases wake the blocked one — a
 			// selection always fits the budget minus its own holdings.
+			rw := trace.StartSpan(obs.SpanReserveWait, root, m)
 			s.mustReserve(policy, m, mod)
+			trace.EndSpan(rw)
 			f := parallelFlight{model: m, finishMS: nowMS + mod.TimeMS,
-				done: make(chan struct{}), started: s.cfg.Metrics.execStart(m)}
+				done: make(chan struct{}), started: s.cfg.Metrics.execStart(m),
+				launched: trace.Stamp()}
 			if s.batcher != nil && trace != nil {
 				trace.Add(obs.TraceEvent{Kind: obs.TraceBatched, Model: m, Queued: s.batcher.Queued(m)})
+				f.ref = &obs.BatchRef{}
 			}
 			inFly = append(inFly, f)
-			s.launch(m, mod, f.done)
+			s.launch(m, mod, f.done, f.ref)
 		}
 		if len(inFly) == 0 {
 			// Nothing running and nothing launchable. As in the serial
@@ -877,6 +913,18 @@ func (s *Server) processParallel(policy sim.Policy, tk *Ticket) {
 		f := inFly[ei]
 		inFly = append(inFly[:ei], inFly[ei+1:]...)
 		<-f.done
+		// The coordinator records the flight's spans at commit (it owns
+		// the trace; sleeps never write). A batched flight splits into
+		// hold (launch → seal) and exec (seal → wake) from the BatchRef
+		// the batcher filled before closing done.
+		if f.ref != nil && f.ref.Batch != 0 {
+			hold := trace.SpanBetween(obs.SpanBatchHold, root, f.model, f.launched, f.ref.Seal)
+			trace.AnnotateBatch(hold, f.ref.Batch, f.ref.N, f.ref.Flush)
+			exec := trace.SpanBetween(obs.SpanExec, root, f.model, f.ref.Seal, trace.Stamp())
+			trace.AnnotateBatch(exec, f.ref.Batch, f.ref.N, f.ref.Flush)
+		} else {
+			trace.SpanBetween(obs.SpanExec, root, f.model, f.launched, trace.Stamp())
+		}
 		mod := s.ex.Model(f.model)
 		s.acct.release(mod.MemMB)
 		s.cfg.Metrics.execDone(f.model, f.started, s.cfg.TimeScale)
@@ -903,9 +951,11 @@ func (s *Server) processParallel(policy sim.Policy, tk *Ticket) {
 // already captured by value, so the corpus may evict the item's memo the
 // moment the commit is journaled, before any reader wakes.
 func (s *Server) finish(tk *Ticket, startWall time.Time, executed []int, outputs []zoo.Output, schedMS, selectSec float64, recall float64, hasRecall bool, trace *obs.ItemTrace) {
+	commit := trace.StartSpan(obs.SpanCommit, 0, -1)
 	if s.cfg.Corpus != nil {
 		s.cfg.Corpus.CommitItem(tk.image, executed, schedMS)
 	}
+	trace.EndSpan(commit)
 	finishWall := time.Now()
 
 	// Record on the simulated clock so Stats is comparable to the sim.

@@ -33,6 +33,7 @@ import (
 	"fmt"
 	"sync"
 
+	"ams/internal/obs"
 	"ams/internal/serve"
 	"ams/internal/service"
 )
@@ -116,6 +117,7 @@ type Ticket struct {
 	index   int
 	resolve func(shard int) (int, error)
 	pinned  bool
+	home    int // placed home shard, for steal provenance
 
 	done chan struct{}
 	res  Result
@@ -158,6 +160,11 @@ type Config struct {
 	// Capacity is each shard's steal gate: a shard steals only while its
 	// in-flight count is below its capacity. Default: its worker count.
 	Capacity []int
+	// Tracer, when non-nil, receives steal provenance: before a stolen
+	// ticket is handed to the executing shard's server, the router notes
+	// (tag, home, thief) so the item's span trace carries the
+	// victim→thief causality link. Nil disables the hook entirely.
+	Tracer *obs.Tracer
 }
 
 // Router fans submissions out to shards. Safe for concurrent use.
@@ -356,6 +363,7 @@ func (r *Router) Submit(it Item) (*Ticket, error) {
 		index:   it.Index,
 		resolve: it.Resolve,
 		pinned:  it.Pin > 0,
+		home:    s,
 		done:    make(chan struct{}),
 	}
 	r.queues[s] = append(r.queues[s], tk)
@@ -486,6 +494,12 @@ func (r *Router) run(s int, tk *Ticket, stolen bool) {
 		}
 		idx = i
 	}
+	if stolen && tk.tag != "" {
+		// Record provenance before the inner submit: the handoff into the
+		// executing server's queue is the happens-before edge that orders
+		// this note ahead of the serve loop's Tracer.Begin for the tag.
+		r.cfg.Tracer.NoteSteal(tk.tag, tk.home, s)
+	}
 	//amsvet:allow ctxflow the dispatcher outlives any submitter ctx; Router.Close is its cancellation scope
 	in, err := r.servers[s].SubmitWait(context.Background(), idx, tk.tag)
 	if err != nil {
@@ -592,6 +606,32 @@ type Stats struct {
 	PerShard []ShardStats
 	Steals   int64 // total stolen dispatches
 	Failures int64 // tickets failed at resolution/dispatch
+}
+
+// RejectedTotal is the router-level shed count (submits refused at a
+// full pending queue), cheap enough for a flight-recorder trigger to
+// poll. Server-level sheds are not included; callers that want the full
+// picture add the per-shard serve totals.
+func (r *Router) RejectedTotal() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var total int64
+	for _, n := range r.rejected {
+		total += n
+	}
+	return total
+}
+
+// StealsTotal is the total stolen dispatches across all shards, cheap
+// enough for a flight-recorder trigger to poll.
+func (r *Router) StealsTotal() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var total int64
+	for _, n := range r.steals {
+		total += n
+	}
+	return total
 }
 
 // Stats merges every shard's completion records through one Summarize

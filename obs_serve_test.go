@@ -13,24 +13,48 @@ import (
 // TestTelemetryBitIdenticalAcrossPolicies: turning telemetry on must not
 // change a single byte of any schedule — instruments observe decisions,
 // they never participate in them. Every registry policy runs the same
-// item stream with telemetry off and on (tracer included); the delivered
-// results must match exactly: executed models, order, nominal times,
-// labels, recall.
+// item stream in three modes — bare, plain telemetry, and the full
+// span-tracing stack (sized tracer ring plus SLO burn accounting) — and
+// the delivered results must match exactly across all of them: executed
+// models, order, nominal times, labels, recall.
 func TestTelemetryBitIdenticalAcrossPolicies(t *testing.T) {
 	const items = 8
+	modes := []struct {
+		name string
+		mut  func(*ServeConfig)
+	}{
+		{"telemetry", func(c *ServeConfig) { c.Telemetry = true }},
+		{"spans+slo", func(c *ServeConfig) {
+			c.Telemetry = true
+			c.TraceCapacity = 64
+			c.SLOs = []string{"p99<400ms", "tight:p50<50ms"}
+		}},
+	}
 	for _, pol := range registryPolicies() {
 		t.Run(pol.Name(), func(t *testing.T) {
-			run := func(telemetry bool) []*Result {
-				srv, err := testSys.NewServer(testAgent, ServeConfig{
-					Workers:        2,
+			// The stochastic policy seeds its RNG per worker, so which
+			// worker dequeues an item — a runtime race, orthogonal to the
+			// telemetry contract under test — picks the draw stream. Pin it
+			// to one worker, as TestBatchSizeOneBitIdenticalAcrossPolicies
+			// does, so its schedules compare run to run.
+			workers := 2
+			if pol.Name() == PolicyRandom.Name() {
+				workers = 1
+			}
+			run := func(mut func(*ServeConfig)) []*Result {
+				cfg := ServeConfig{
+					Workers:        workers,
 					Policy:         pol,
 					DeadlineSec:    0.5,
 					MemoryGB:       8,
 					TimeScale:      0.001,
 					BatchSize:      2,
 					PredictorCache: true,
-					Telemetry:      telemetry,
-				})
+				}
+				if mut != nil {
+					mut(&cfg)
+				}
+				srv, err := testSys.NewServer(testAgent, cfg)
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -47,11 +71,14 @@ func TestTelemetryBitIdenticalAcrossPolicies(t *testing.T) {
 				}
 				return out
 			}
-			plain, instrumented := run(false), run(true)
-			for i := range plain {
-				if !reflect.DeepEqual(instrumented[i], plain[i]) {
-					t.Fatalf("item %d: telemetry changed the result:\n%+v\nvs\n%+v",
-						i, instrumented[i], plain[i])
+			plain := run(nil)
+			for _, mode := range modes {
+				instrumented := run(mode.mut)
+				for i := range plain {
+					if !reflect.DeepEqual(instrumented[i], plain[i]) {
+						t.Fatalf("item %d: %s mode changed the result:\n%+v\nvs\n%+v",
+							i, mode.name, instrumented[i], plain[i])
+					}
 				}
 			}
 		})

@@ -4,6 +4,8 @@ import (
 	"context"
 	"fmt"
 	"hash/fnv"
+	"io"
+	"os"
 	"strconv"
 	"sync"
 	"time"
@@ -113,9 +115,33 @@ type ServeConfig struct {
 	// MetricsAddr, when non-empty (host:port; ":0" picks a free port),
 	// additionally serves the telemetry over HTTP: /metrics (Prometheus
 	// text), /statusz (JSON status + metric snapshot), /tracez (recent
-	// decision traces), and /debug/pprof. Implies Telemetry. The listener
-	// shuts down with Close. MetricsAddr reports the bound address.
+	// decision traces; ?format=chrome exports Perfetto-loadable JSON),
+	// and /debug/pprof. Implies Telemetry. The listener shuts down with
+	// Close. MetricsAddr reports the bound address.
 	MetricsAddr string
+	// TraceCapacity sets how many completed item traces the decision
+	// tracer retains in its ring (default 256). Ring evictions and
+	// per-trace event/span drops are surfaced as ams_trace_* series.
+	TraceCapacity int
+	// SLOs lists latency objectives the server accounts every completed
+	// item against, each spec "p99<250ms" or "name:p95<1s" (quantile is
+	// the good-fraction target, the duration is the threshold on the
+	// simulated clock). A "deadline" objective — p99 within DeadlineSec —
+	// is always present when telemetry is on. Burn rates over 5 m / 1 h
+	// virtual-clock windows export as ams_slo_* series. Implies
+	// Telemetry.
+	SLOs []string
+	// FlightDir, when non-empty, arms the anomaly flight recorder: the
+	// server polls trigger conditions (shed-rate spike, deadline-burn,
+	// steal storm, reserve-wait stall) and on firing atomically writes a
+	// timestamped JSON bundle — the recent span-trace ring plus the full
+	// metric snapshot, the moments *before* the anomaly — into this
+	// directory. Implies Telemetry.
+	FlightDir string
+	// TraceOut, when non-empty, writes the span-trace ring as Chrome
+	// trace-event JSON (loadable in Perfetto / chrome://tracing) to this
+	// path when the server closes. Implies Telemetry.
+	TraceOut string
 }
 
 // ServeTrace describes a Poisson arrival trace for Serve and
@@ -124,6 +150,14 @@ type ServeTrace struct {
 	ArrivalRateHz float64 // mean arrivals per second
 	Items         int     // stream length
 	Seed          uint64
+	// OpenLoop submits without blocking: an item arriving into a
+	// saturated queue (or a corpus at its watermark) is shed — counted in
+	// ServeStats.Rejected — instead of applying backpressure to the
+	// arrival process. This is the overload configuration: arrivals keep
+	// their Poisson pacing no matter how far behind the server falls,
+	// which is what produces shed storms for the flight recorder to
+	// catch. The default (closed-loop) SubmitWait never sheds.
+	OpenLoop bool
 }
 
 // ServeStats reports a serving run in the same shape as the virtual-time
@@ -231,6 +265,14 @@ type Server struct {
 	tracer   *obs.Tracer
 	metrics  *serve.Metrics
 	exporter *obs.Exporter
+	flight   *obs.FlightRecorder
+
+	// SLO clock: virtual seconds since start (wall elapsed ÷ scale).
+	start time.Time
+	scale float64
+
+	traceOut  string // Chrome trace dump path, written once at Close
+	traceOnce sync.Once
 
 	resOnce sync.Once
 	res     chan *Result
@@ -329,10 +371,20 @@ func (s *System) NewServer(agent *Agent, cfg ServeConfig) (*Server, error) {
 	if cfg.Corpus != nil && cfg.Corpus.sys.Zoo != s.Zoo {
 		return nil, fmt.Errorf("ams: corpus opened by a different System")
 	}
-	sv := &Server{sys: s, corpus: cfg.Corpus, cache: cache, placement: placement}
-	if cfg.Telemetry || cfg.MetricsAddr != "" {
+	sv := &Server{sys: s, corpus: cfg.Corpus, cache: cache, placement: placement,
+		start: time.Now(), scale: cfg.TimeScale, traceOut: cfg.TraceOut}
+	if sv.scale <= 0 {
+		sv.scale = 1.0 // the serve layer's own default; keep the SLO clock on it
+	}
+	if cfg.Telemetry || cfg.MetricsAddr != "" || cfg.FlightDir != "" || cfg.TraceOut != "" || len(cfg.SLOs) > 0 {
 		sv.reg = obs.NewRegistry()
-		sv.tracer = obs.NewTracer(0)
+		sv.tracer = obs.NewTracer(cfg.TraceCapacity)
+		sv.tracer.SetTimeScale(sv.scale)
+		names := make([]string, len(s.Zoo.Models))
+		for i, mod := range s.Zoo.Models {
+			names[i] = mod.Name
+		}
+		sv.tracer.SetModelNames(names)
 		sv.metrics = serve.NewMetrics(sv.reg, s.Zoo.Models)
 	}
 
@@ -345,7 +397,7 @@ func (s *System) NewServer(agent *Agent, cfg ServeConfig) (*Server, error) {
 			}
 			seg = cfg.Corpus.segs[0]
 		}
-		sh, err := s.newShard(sv, cfg, policy, seg, factory, cfg.Workers, cfg.MemoryGB, cfg.QueueCap, time.Time{})
+		sh, err := s.newShard(sv, cfg, policy, seg, factory, 0, cfg.Workers, cfg.MemoryGB, cfg.QueueCap, time.Time{})
 		if err != nil {
 			return nil, err
 		}
@@ -391,7 +443,7 @@ func (s *System) NewServer(agent *Agent, cfg ServeConfig) (*Server, error) {
 			offset += workerSplit[j]
 		}
 		shardFactory := func(w int) sim.Policy { return factory(offset + w) }
-		sh, err := s.newShard(sv, cfg, policy, seg, shardFactory, workerSplit[i], cfg.MemoryGB/float64(n), queuePer, epoch)
+		sh, err := s.newShard(sv, cfg, policy, seg, shardFactory, i, workerSplit[i], cfg.MemoryGB/float64(n), queuePer, epoch)
 		if err != nil {
 			for _, prev := range sv.shards[:i] {
 				prev.inner.Close()
@@ -406,6 +458,7 @@ func (s *System) NewServer(agent *Agent, cfg ServeConfig) (*Server, error) {
 		Steal:     cfg.ShardSteal,
 		Models:    len(s.Zoo.Models),
 		Workers:   workerSplit,
+		Tracer:    sv.tracer,
 	})
 	if err != nil {
 		for _, sh := range sv.shards {
@@ -451,6 +504,25 @@ func (sv *Server) finishTelemetry(cfg ServeConfig) (*Server, error) {
 			"Entries resident in the shared Q-prediction cache",
 			func() float64 { _, _, n := sv.cache.Stats(); return float64(n) })
 	}
+	// Tracer health: ring evictions (traces lost to capacity) and
+	// event/span drops inside published traces, so silent trace loss is
+	// itself observable.
+	sv.reg.CounterFunc("ams_trace_evicted_total",
+		"Completed traces overwritten by ring wraparound",
+		sv.tracer.Evicted)
+	sv.reg.CounterFunc("ams_trace_dropped_total",
+		"Events and spans dropped inside published traces (per-item caps)",
+		sv.tracer.DroppedTotal)
+	sv.reg.GaugeFunc("ams_trace_capacity",
+		"Trace-ring capacity (ServeConfig.TraceCapacity)",
+		func() float64 { return float64(sv.tracer.Capacity()) })
+	if err := sv.buildSLOs(cfg); err != nil {
+		_ = sv.Close()
+		return nil, err
+	}
+	if cfg.FlightDir != "" {
+		sv.armFlightRecorder(cfg.FlightDir)
+	}
 	if cfg.MetricsAddr != "" {
 		exp, err := obs.NewExporter(cfg.MetricsAddr, sv.reg, sv.tracer, func() any { return sv.Stats() })
 		if err != nil {
@@ -462,10 +534,95 @@ func (sv *Server) finishTelemetry(cfg ServeConfig) (*Server, error) {
 	return sv, nil
 }
 
+// buildSLOs constructs the server's latency objectives — the implicit
+// "deadline" objective (p99 within the scheduling deadline) plus every
+// ServeConfig.SLOs spec — on the virtual clock, registers their
+// ams_slo_* views, and threads them into the serve layer's completion
+// hook. Runs before any item is admitted, so the slice is never written
+// concurrently with itemDone reads.
+func (sv *Server) buildSLOs(cfg ServeConfig) error {
+	// Virtual seconds since server start: burn windows advance on the
+	// simulated clock, so a 0.01× test run and a real-time run account
+	// burn identically.
+	vnow := func() float64 { return obs.SinceSeconds(sv.start) / sv.scale }
+	var slos []*obs.SLO
+	if cfg.DeadlineSec > 0 {
+		slos = append(slos, obs.NewSLO("deadline", cfg.DeadlineSec, 0.99, vnow))
+	}
+	for _, spec := range cfg.SLOs {
+		o, err := ParseSLO(spec)
+		if err != nil {
+			return fmt.Errorf("ams: %w", err)
+		}
+		slos = append(slos, obs.NewSLO(o.Name, o.ThresholdSec, o.Quantile, vnow))
+	}
+	for _, slo := range slos {
+		slo.RegisterViews(sv.reg)
+		slo := slo
+		sv.reg.GaugeFunc("ams_slo_quantile_seconds",
+			"Observed latency at the SLO's target quantile (lifetime histogram)",
+			func() float64 { return sv.metrics.Latency.Quantile(slo.Target) },
+			obs.L("slo", slo.Name))
+	}
+	sv.metrics.SLOs = slos
+	return nil
+}
+
+// armFlightRecorder builds the anomaly flight recorder with the
+// server's default trigger catalog and starts its poll loop. Triggers
+// only read counters and burn gauges — nothing feeds back into
+// scheduling.
+func (sv *Server) armFlightRecorder(dir string) {
+	fr := obs.NewFlightRecorder(dir, sv.reg, sv.tracer)
+	// Shed storm: total sheds (server queues + router-level rejects)
+	// growing faster than 5/s.
+	fr.AddTrigger("shed-storm", obs.RateTrigger(func() int64 {
+		n := sv.metrics.Shed.Value()
+		if sv.router != nil {
+			n += sv.router.RejectedTotal()
+		}
+		return n
+	}, 5))
+	// Deadline burn: any objective's fastest burn window at 8× budget —
+	// the classic page-level fast-burn threshold.
+	if len(sv.metrics.SLOs) > 0 {
+		fr.AddTrigger("deadline-burn", obs.ThresholdTrigger(func() float64 {
+			worst := 0.0
+			for _, slo := range sv.metrics.SLOs {
+				ws := slo.Windows()
+				if len(ws) == 0 {
+					continue
+				}
+				fast := ws[0]
+				for _, w := range ws[1:] {
+					if w < fast {
+						fast = w
+					}
+				}
+				if b := slo.BurnRate(fast); b > worst {
+					worst = b
+				}
+			}
+			return worst
+		}, 8))
+	}
+	// Steal storm: sustained stealing means placement is fighting the
+	// load instead of spreading it.
+	if sv.router != nil {
+		fr.AddTrigger("steal-storm", obs.RateTrigger(sv.router.StealsTotal, 20))
+	}
+	// Reserve stall: executions piling into the memory accountant's
+	// wait queue faster than 50/s.
+	fr.AddTrigger("reserve-stall", obs.RateTrigger(sv.metrics.ReserveWait.Count, 50))
+	fr.RegisterViews(sv.reg)
+	fr.Start()
+	sv.flight = fr
+}
+
 // newShard builds one shard: a serve.Server over either the shard's
 // corpus segment or a private on-demand executor.
 func (s *System) newShard(sv *Server, cfg ServeConfig, policy Policy, seg *corpus.Corpus, factory service.PolicyFactory,
-	workers int, memoryGB float64, queueCap int, epoch time.Time) (*serverShard, error) {
+	shardIdx, workers int, memoryGB float64, queueCap int, epoch time.Time) (*serverShard, error) {
 	sh := &serverShard{
 		sys:       s,
 		ingested:  make(map[*oracle.ExternalItem]int),
@@ -503,6 +660,7 @@ func (s *System) newShard(sv *Server, cfg ServeConfig, policy Policy, seg *corpu
 		Epoch:          epoch,
 		Metrics:        sv.metrics,
 		Tracer:         sv.tracer,
+		Shard:          shardIdx,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("ams: %w", err)
@@ -854,16 +1012,58 @@ func (sv *Server) Stats() ServeStats {
 }
 
 // Close stops admission, drains the queue (on a sharded server, every
-// shard's pending queue through its workers), and waits for in-flight
-// items.
+// shard's pending queue through its workers), waits for in-flight
+// items, and — with ServeConfig.TraceOut — dumps the final span-trace
+// ring as Chrome trace-event JSON.
 func (sv *Server) Close() error {
 	// The exporter goes first so no scrape races the teardown; Close
-	// waits for its serve goroutine, keeping leak checks clean.
+	// waits for its serve goroutine, keeping leak checks clean. The
+	// flight recorder follows (its final poll catches an anomaly still
+	// live at shutdown), then the shards drain.
 	_ = sv.exporter.Close()
+	_ = sv.flight.Close()
+	var err error
 	if sv.router != nil {
-		return sv.router.Close()
+		err = sv.router.Close()
+	} else {
+		err = sv.shards[0].inner.Close()
 	}
-	return sv.shards[0].inner.Close()
+	if sv.traceOut != "" && sv.tracer != nil {
+		// After the drain, so the dump holds every completed trace.
+		sv.traceOnce.Do(func() {
+			if werr := sv.dumpChromeTrace(); werr != nil && err == nil {
+				err = fmt.Errorf("ams: trace-out: %w", werr)
+			}
+		})
+	}
+	return err
+}
+
+// dumpChromeTrace writes the whole trace ring to the TraceOut path.
+func (sv *Server) dumpChromeTrace() error {
+	f, err := os.Create(sv.traceOut)
+	if err != nil {
+		return err
+	}
+	if err := sv.tracer.WriteChrome(f, sv.tracer.Capacity(), ""); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// WriteChromeTrace exports up to n recent span traces (all resident
+// traces when n <= 0) as Chrome trace-event / Perfetto JSON — the same
+// payload as /tracez?format=chrome and ServeConfig.TraceOut. A server
+// without telemetry writes an empty trace document.
+func (sv *Server) WriteChromeTrace(w io.Writer, n int) error {
+	if n <= 0 {
+		n = sv.tracer.Capacity()
+		if n == 0 {
+			n = 1
+		}
+	}
+	return sv.tracer.WriteChrome(w, n, "")
 }
 
 // Serve replays a Poisson arrival trace through a fresh server, pulling
@@ -911,6 +1111,16 @@ func (s *System) Serve(ctx context.Context, agent *Agent, cfg ServeConfig, trace
 		if ctx.Err() != nil {
 			submitErr = ctx.Err()
 			break
+		}
+		if trace.OpenLoop {
+			// Open loop: shed on backpressure, never block the arrival
+			// process. Sheds are already counted by the admission path.
+			if _, err := srv.Submit(item); err != nil &&
+				err != ErrQueueFull && err != ErrCorpusFull {
+				submitErr = err
+				break
+			}
+			continue
 		}
 		if _, err := srv.SubmitWait(ctx, item); err != nil {
 			submitErr = err
